@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/setcrypto"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchDeployAndRun executes a small fixed Compresschain workload in the
+// given mode (modeled byte accounting vs full crypto + DEFLATE) for the D2
+// ablation bench.
+func benchDeployAndRun(b *testing.B, mode core.Mode) {
+	b.Helper()
+	s := sim.New(1)
+	const n = 4
+	rec := metrics.New(s, metrics.LevelThroughput, n, 1, 0)
+	var suite setcrypto.Suite = setcrypto.FastSuite{}
+	if mode == core.Full {
+		suite = setcrypto.Ed25519Suite{}
+	}
+	d := core.Deploy(s, n, ledger.Config{
+		Net:   netsim.DefaultLANConfig(),
+		Suite: suite,
+	}, core.Options{
+		Algorithm:      core.Compresschain,
+		Mode:           mode,
+		CollectorLimit: 50,
+		F:              1,
+	}, rec)
+	gen := workload.New(d, rec, workload.Config{
+		Rate:         400,
+		Duration:     10 * time.Second,
+		FullPayloads: mode == core.Full,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(30 * time.Second)
+	d.Stop()
+	if rec.TotalCommitted() == 0 {
+		b.Fatal(fmt.Sprintf("mode %v committed nothing", mode))
+	}
+}

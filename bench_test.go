@@ -1,0 +1,258 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper, plus ablation benches for the design decisions in DESIGN.md §5.
+//
+// Each iteration runs the corresponding experiment at a reduced scale
+// (BENCH_SCALE, default 0.1) so `go test -bench=.` completes in minutes;
+// cmd/setchain-bench runs the same studies at paper scale. Benchmarks
+// report the paper's own metrics through b.ReportMetric — committed
+// elements per virtual second (el/s), efficiency, commit latency — in
+// addition to wall-clock ns/op.
+
+import (
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// metric converts a human label into a ReportMetric-safe unit string
+// (no whitespace allowed).
+func metric(label, suffix string) string {
+	return strings.ReplaceAll(label, " ", "_") + suffix
+}
+
+func benchScale() float64 {
+	if v := os.Getenv("BENCH_SCALE"); v != "" {
+		if f, err := strconv.ParseFloat(v, 64); err == nil && f > 0 {
+			return f
+		}
+	}
+	return 0.1
+}
+
+// BenchmarkTable1Grid exercises one cell of Table 1's parameter grid per
+// combination class (the grid itself is configuration; the bench proves
+// every combination actually runs).
+func BenchmarkTable1Grid(b *testing.B) {
+	g := harness.PaperGrid()
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(harness.Scenario{
+			Spec:         harness.SpecHash100,
+			Rate:         g.SendingRates[len(g.SendingRates)-1], // 500 el/s
+			Servers:      g.ServerCounts[0],                     // 4
+			NetworkDelay: g.NetworkDelays[1],                    // 30 ms
+			SendFor:      10 * time.Second,
+			Horizon:      40 * time.Second,
+		})
+		b.ReportMetric(res.Eff100, "efficiency@2x")
+	}
+}
+
+// BenchmarkTable2Throughput regenerates Table 2: average throughput up to
+// the end of sending for Fig. 1's three panels.
+func BenchmarkTable2Throughput(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		panels := harness.Fig1Panels()
+		// Panel left carries the headline comparison (V=171, C=996,
+		// H=4183 in the paper).
+		results := harness.RunFig1Panel(panels[0], scale)
+		for _, res := range results {
+			b.ReportMetric(res.AvgTput, metric(res.Scenario.Spec.Label(), "_el/s"))
+		}
+	}
+}
+
+// BenchmarkFig1Throughput regenerates Fig. 1's throughput-over-time curves
+// (right panel: 10,000 el/s, c=500).
+func BenchmarkFig1Throughput(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		panels := harness.Fig1Panels()
+		results := harness.RunFig1Panel(panels[2], scale)
+		for _, res := range results {
+			b.ReportMetric(res.AvgTput, metric(res.Scenario.Spec.Label(), "_el/s"))
+			b.ReportMetric(float64(len(res.Series)), "series_points")
+		}
+	}
+}
+
+// BenchmarkFig2Limits regenerates Fig. 2 (left): the Hashchain ceiling with
+// hash-reversal on versus the Light variant (paper: 20,061 vs 133,882 el/s
+// averaged to 50 s at scale 1).
+func BenchmarkFig2Limits(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		results := harness.RunLimitStudy(scale)
+		for _, lr := range results {
+			b.ReportMetric(lr.Result.AvgTput, metric(lr.Label, "_el/s"))
+		}
+	}
+}
+
+// BenchmarkFig2Analytical regenerates Fig. 2 (right): the block-size sweep
+// of the analytical model.
+func BenchmarkFig2Analytical(b *testing.B) {
+	b.ReportAllocs()
+	var last float64
+	for i := 0; i < b.N; i++ {
+		sweep := analysis.BlockSizeSweep()
+		last = sweep[len(sweep)-1].Hashchain
+	}
+	b.ReportMetric(last, "hashchain@128MB_el/s")
+}
+
+// BenchmarkFig3Efficiency regenerates Fig. 3a (efficiency vs sending rate);
+// Figs. 3b/3c use the same machinery with servers/delay varied (covered at
+// full scale by cmd/setchain-bench).
+func BenchmarkFig3Efficiency(b *testing.B) {
+	scale := benchScale() / 2 // 20 runs: keep each small
+	for i := 0; i < b.N; i++ {
+		cells := harness.RunEfficiencyVsRate(scale)
+		for _, c := range cells {
+			if c.Param == "10000 el/s" {
+				b.ReportMetric(c.Result.Eff50, metric(c.Spec.Label(), "_eff@send-end"))
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Latency regenerates Fig. 4: five-stage latency CDFs at
+// 1,250 el/s, reporting median and p95 commit (finality) latency — the
+// paper's "finality below 4 seconds" claim.
+func BenchmarkFig4Latency(b *testing.B) {
+	scale := benchScale() * 2 // light workload; afford more elements
+	for i := 0; i < b.N; i++ {
+		curves := harness.RunLatencyStudy(scale)
+		for _, lc := range curves {
+			commit := lc.Stages[metrics.StageCommitted]
+			b.ReportMetric(metrics.LatencyQuantile(commit, 0.5).Seconds(),
+				metric(lc.Spec.Label(), "_p50_commit_s"))
+			b.ReportMetric(metrics.LatencyQuantile(commit, 0.95).Seconds(),
+				metric(lc.Spec.Label(), "_p95_commit_s"))
+		}
+	}
+}
+
+// BenchmarkFig5CommitTimes regenerates Fig. 5 (Appendix F): commit times of
+// the first element and element fractions.
+func BenchmarkFig5CommitTimes(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := harness.Run(harness.Scenario{
+			Spec:  harness.SpecHash500,
+			Rate:  10000,
+			Scale: scale,
+		})
+		if t0, ok := res.CommitFrac[0]; ok {
+			b.ReportMetric(t0.Seconds(), "first_el_commit_s")
+		}
+		if t50, ok := res.CommitFrac[50]; ok {
+			b.ReportMetric(t50.Seconds(), "50pct_commit_s")
+		}
+	}
+}
+
+// BenchmarkD1Analytical regenerates the Appendix D.1 analytical table.
+func BenchmarkD1Analytical(b *testing.B) {
+	b.ReportAllocs()
+	var tv, th float64
+	for i := 0; i < b.N; i++ {
+		rows := analysis.D1Table()
+		tv = rows[0].Throughput
+		th = rows[len(rows)-1].Throughput
+	}
+	b.ReportMetric(tv, "Tv_el/s")
+	b.ReportMetric(th, "Th500_el/s")
+}
+
+// --- ablation benches (DESIGN.md §5) ---
+
+// BenchmarkAblationHashReversal (D3) isolates the cost of Hashchain's
+// hash-reversal + validation: same rate, with and without.
+func BenchmarkAblationHashReversal(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		heavy := harness.Run(harness.Scenario{Spec: harness.SpecHash500, Rate: 40000, Scale: scale})
+		light := harness.Run(harness.Scenario{
+			Spec: harness.AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true},
+			Rate: 40000, Scale: scale,
+		})
+		b.ReportMetric(heavy.AvgTput, "with_reversal_el/s")
+		b.ReportMetric(light.AvgTput, "without_reversal_el/s")
+	}
+}
+
+// BenchmarkAblationCollectorSize (D4) sweeps the collector size at a fixed
+// stressed sending rate for Hashchain.
+func BenchmarkAblationCollectorSize(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []int{50, 100, 250, 500} {
+			res := harness.Run(harness.Scenario{
+				Spec: harness.AlgSpec{Alg: core.Hashchain, Collector: c},
+				Rate: 10000, Scale: scale,
+			})
+			b.ReportMetric(res.AvgTput, "c="+strconv.Itoa(c)+"_el/s")
+		}
+	}
+}
+
+// BenchmarkAblationModeledVsFull (D2) compares the modeled byte path with
+// the full-fidelity path (real ed25519, SHA-512, DEFLATE) on an identical
+// small workload; the metric of interest is wall-clock ns/op, showing what
+// the modeled mode buys for large sweeps.
+func BenchmarkAblationModeledVsFull(b *testing.B) {
+	run := func(mode core.Mode) {
+		// Direct deployment (not harness.Run) so the mode is selectable.
+		benchDeployAndRun(b, mode)
+	}
+	b.Run("modeled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(core.Modeled)
+		}
+	})
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(core.Full)
+		}
+	})
+}
+
+// BenchmarkAblationProofOverhead (D5) quantifies the epoch-proof ledger
+// overhead per algorithm: Vanilla pays n proof transactions per epoch on
+// the ledger, Compresschain/Hashchain piggyback proofs inside batches.
+func BenchmarkAblationProofOverhead(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		for _, spec := range []harness.AlgSpec{harness.SpecVanilla, harness.SpecCompress100} {
+			res := harness.Run(harness.Scenario{Spec: spec, Rate: 500, Scale: scale})
+			b.ReportMetric(res.AvgTput, metric(spec.Label(), "_el/s"))
+		}
+	}
+}
+
+// BenchmarkAblationVirtualTime (D1) measures the simulator's speedup: how
+// many virtual seconds of cluster time one wall-clock second simulates on
+// the Fig. 4 workload.
+func BenchmarkAblationVirtualTime(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		res := harness.Run(harness.Scenario{Spec: harness.SpecHash100, Rate: 1250, Scale: scale})
+		wall := time.Since(start).Seconds()
+		virtual := res.Scenario.Horizon.Seconds()
+		if wall > 0 {
+			b.ReportMetric(virtual/wall, "virtual_s_per_wall_s")
+		}
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}

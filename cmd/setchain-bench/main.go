@@ -1,0 +1,335 @@
+// Command setchain-bench regenerates every table and figure of "Setchain
+// Algorithms for Blockchain Scalability" on the virtual-time simulator.
+//
+// Usage:
+//
+//	setchain-bench -exp all            # everything (minutes at -scale 1)
+//	setchain-bench -exp fig1 -scale 0.2
+//	setchain-bench -list
+//
+// Experiments: table1, table2, fig1, fig2left, fig2right, fig3a, fig3b,
+// fig3c, fig4, fig5a, fig5b, fig5c, d1, all.
+//
+// -scale shrinks sending rates and windows proportionally (saturation
+// relationships against the fixed ledger/CPU capacities are preserved for
+// rates near or above the ceilings; use 1 for the paper's exact workloads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/textplot"
+)
+
+var experiments = []struct {
+	name string
+	desc string
+	run  func(scale float64)
+}{
+	{"table1", "Table 1: evaluation parameter grid", runTable1},
+	{"table2", "Table 2: avg throughput to 50 s for Fig. 1's panels", runTable2},
+	{"fig1", "Fig. 1: throughput over time, three panels", runFig1},
+	{"fig2left", "Fig. 2 (left): highest throughput / Light ablations", runFig2Left},
+	{"fig2right", "Fig. 2 (right): analytical throughput vs block size", runFig2Right},
+	{"fig3a", "Fig. 3a: efficiency vs sending rate", runFig3a},
+	{"fig3b", "Fig. 3b: efficiency vs number of servers", runFig3b},
+	{"fig3c", "Fig. 3c: efficiency vs network delay", runFig3c},
+	{"fig4", "Fig. 4: latency CDFs to five stages", runFig4},
+	{"fig5a", "Fig. 5a: commit times vs sending rate", runFig5a},
+	{"fig5b", "Fig. 5b: commit times vs number of servers", runFig5b},
+	{"fig5c", "Fig. 5c: commit times vs network delay", runFig5c},
+	{"d1", "Appendix D.1: analytical throughput table", runD1},
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment to run (or 'all')")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (rates and send windows)")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments {
+			fmt.Printf("  %-9s %s\n", e.name, e.desc)
+		}
+		fmt.Println("  all       run everything")
+		if *exp == "" {
+			os.Exit(2)
+		}
+		return
+	}
+	found := false
+	for _, e := range experiments {
+		if *exp == "all" || *exp == e.name {
+			found = true
+			t0 := time.Now()
+			fmt.Printf("==> %s — %s (scale %.2g)\n\n", e.name, e.desc, *scale)
+			e.run(*scale)
+			fmt.Printf("\n[%s done in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func runTable1(float64) {
+	g := harness.PaperGrid()
+	t := &textplot.Table{
+		Title:   "Table 1: Parameters for Setchain evaluation",
+		Headers: []string{"Name", "Description", "Values"},
+	}
+	t.AddRow("sending_rate", "Adding rate (el/s)", joinF(g.SendingRates))
+	t.AddRow("collector_limit", "Collector size (el)", joinI(g.Collectors))
+	t.AddRow("server_count", "Number of servers", joinI(g.ServerCounts))
+	t.AddRow("network_delay", "Delay increase (ms)", joinD(g.NetworkDelays))
+	fmt.Print(t.Render())
+}
+
+func joinF(vs []float64) string {
+	var p []string
+	for _, v := range vs {
+		p = append(p, fmt.Sprintf("%.0f", v))
+	}
+	return strings.Join(p, ", ")
+}
+
+func joinI(vs []int) string {
+	var p []string
+	for _, v := range vs {
+		p = append(p, fmt.Sprintf("%d", v))
+	}
+	return strings.Join(p, ", ")
+}
+
+func joinD(vs []time.Duration) string {
+	var p []string
+	for _, v := range vs {
+		p = append(p, fmt.Sprintf("%d", v.Milliseconds()))
+	}
+	return strings.Join(p, ", ")
+}
+
+func runTable2(scale float64) {
+	t := &textplot.Table{
+		Title: "Table 2: Throughput comparison (avg to end of sending) for Fig. 1\n" +
+			"paper:  left  V=171  C=996  H=4183 | center C=571 H=2540 | right C=743 H=7369",
+		Headers: []string{"Panel", "Algorithm", "Measured el/s", "Analytical el/s"},
+	}
+	for _, panel := range harness.Fig1Panels() {
+		for _, res := range harness.RunFig1Panel(panel, scale) {
+			t.AddRow(panel.Name, res.Scenario.Spec.Label(),
+				fmt.Sprintf("%.0f", res.AvgTput), fmt.Sprintf("%.0f", res.Analytical))
+		}
+	}
+	fmt.Print(t.Render())
+}
+
+func runFig1(scale float64) {
+	for _, panel := range harness.Fig1Panels() {
+		results := harness.RunFig1Panel(panel, scale)
+		p := &textplot.LinePlot{
+			Title: fmt.Sprintf("Fig. 1 (%s): throughput over time — rate %.0f el/s, c=%d, 10 servers",
+				panel.Name, panel.Rate*scale, panel.Collector),
+			XLabel: "time (s)", YLabel: "el/s (9 s rolling avg)",
+			LogY:   true,
+			HLines: map[string]float64{},
+		}
+		for _, res := range results {
+			var xs, ys []float64
+			for _, pt := range res.Series {
+				xs = append(xs, pt.Time.Seconds())
+				ys = append(ys, pt.Rate)
+			}
+			p.Add(res.Scenario.Spec.Label(), xs, ys)
+			bound := res.Analytical
+			if res.Scenario.Rate < bound {
+				bound = res.Scenario.Rate
+			}
+			p.HLines["min(rate,analytic) "+res.Scenario.Spec.Label()] = bound
+		}
+		fmt.Print(p.Render())
+		fmt.Println()
+	}
+}
+
+func runFig2Left(scale float64) {
+	results := harness.RunLimitStudy(scale)
+	p := &textplot.LinePlot{
+		Title: "Fig. 2 (left): highest throughput, c=500, 10 servers\n" +
+			"paper: Hashchain w/ reversal avg 20,061 el/s; Hashchain Light avg 133,882 el/s",
+		XLabel: "time (s)", YLabel: "el/s (9 s rolling avg)",
+		LogY: true,
+	}
+	t := &textplot.Table{Headers: []string{"Variant", "Sending el/s", "Avg to send-end el/s", "Analytical el/s"}}
+	for _, lr := range results {
+		res := lr.Result
+		var xs, ys []float64
+		for _, pt := range res.Series {
+			xs = append(xs, pt.Time.Seconds())
+			ys = append(ys, pt.Rate)
+		}
+		p.Add(lr.Label, xs, ys)
+		t.AddRow(lr.Label, fmt.Sprintf("%.0f", res.Scenario.Rate),
+			fmt.Sprintf("%.0f", res.AvgTput), fmt.Sprintf("%.0f", res.Analytical))
+	}
+	fmt.Print(p.Render())
+	fmt.Println()
+	fmt.Print(t.Render())
+}
+
+func runFig2Right(float64) {
+	sweep := analysis.BlockSizeSweep()
+	p := &textplot.LinePlot{
+		Title:  "Fig. 2 (right): analytical throughput vs block size (c=500)",
+		XLabel: "block size (MB, doubling)", YLabel: "el/s",
+		LogY: true,
+	}
+	var xs, v, c, h []float64
+	for i, pt := range sweep {
+		xs = append(xs, float64(i)) // doubling steps, log-x effectively
+		v = append(v, pt.Vanilla)
+		c = append(c, pt.Compresschain)
+		h = append(h, pt.Hashchain)
+	}
+	p.Add("Vanilla", xs, v)
+	p.Add("Compresschain", xs, c)
+	p.Add("Hashchain", xs, h)
+	fmt.Print(p.Render())
+	t := &textplot.Table{Headers: []string{"Block MB", "Vanilla", "Compresschain", "Hashchain"}}
+	for _, pt := range sweep {
+		t.AddRow(fmt.Sprintf("%g", pt.BlockMB), fmt.Sprintf("%.0f", pt.Vanilla),
+			fmt.Sprintf("%.0f", pt.Compresschain), fmt.Sprintf("%.0f", pt.Hashchain))
+	}
+	fmt.Println()
+	fmt.Print(t.Render())
+}
+
+func effChart(title string, cells []harness.EfficiencyCell) {
+	groups := map[string]*textplot.BarGroup{}
+	var order []string
+	for _, c := range cells {
+		g, ok := groups[c.Param]
+		if !ok {
+			g = &textplot.BarGroup{Label: c.Param}
+			groups[c.Param] = g
+			order = append(order, c.Param)
+		}
+		g.Bars = append(g.Bars,
+			textplot.Bar{Name: c.Spec.Label() + " @send-end", Value: c.Result.Eff50},
+			textplot.Bar{Name: c.Spec.Label() + " @1.5x", Value: c.Result.Eff75},
+			textplot.Bar{Name: c.Spec.Label() + " @2.0x", Value: c.Result.Eff100},
+		)
+	}
+	chart := &textplot.BarChart{Title: title, Max: 1}
+	for _, name := range order {
+		chart.Group = append(chart.Group, *groups[name])
+	}
+	fmt.Print(chart.Render())
+}
+
+func runFig3a(scale float64) {
+	effChart("Fig. 3a: efficiency vs sending rate (10 servers, no delay)",
+		harness.RunEfficiencyVsRate(scale))
+}
+
+func runFig3b(scale float64) {
+	effChart("Fig. 3b: efficiency vs number of servers (10,000 el/s, no delay)",
+		harness.RunEfficiencyVsServers(scale))
+}
+
+func runFig3c(scale float64) {
+	effChart("Fig. 3c: efficiency vs network delay (10 servers, 10,000 el/s)",
+		harness.RunEfficiencyVsDelay(scale))
+}
+
+func runFig4(scale float64) {
+	curves := harness.RunLatencyStudy(scale)
+	for _, lc := range curves {
+		data := map[string][]float64{}
+		reach := map[string]float64{}
+		for st := metrics.StageFirstMempool; st <= metrics.StageCommitted; st++ {
+			var xs []float64
+			for _, d := range lc.Stages[st] {
+				xs = append(xs, d.Seconds())
+			}
+			data[st.String()] = xs
+			reach[st.String()] = lc.Reach[st]
+		}
+		fmt.Print(textplot.CDF(
+			fmt.Sprintf("Fig. 4 (%s): latency CDF to five stages — 10 servers, 1250 el/s, c=100",
+				lc.Spec.Label()),
+			72, 18, data, reach))
+		commit := lc.Stages[metrics.StageCommitted]
+		fmt.Printf("  commit latency: p50=%v p95=%v p99=%v (paper: finality < 4 s w.p. ~1)\n\n",
+			metrics.LatencyQuantile(commit, 0.50).Round(time.Millisecond),
+			metrics.LatencyQuantile(commit, 0.95).Round(time.Millisecond),
+			metrics.LatencyQuantile(commit, 0.99).Round(time.Millisecond))
+	}
+}
+
+func commitChart(title string, cells []harness.EfficiencyCell) {
+	t := &textplot.Table{
+		Title:   title,
+		Headers: []string{"Scenario", "Variant", "first", "10%", "20%", "30%", "40%", "50%"},
+	}
+	for _, c := range cells {
+		row := []string{c.Param, c.Spec.Label()}
+		for _, pct := range []int{0, 10, 20, 30, 40, 50} {
+			if tm, ok := c.Result.CommitFrac[pct]; ok {
+				row = append(row, fmt.Sprintf("%.0fs", tm.Seconds()))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	fmt.Print(t.Render())
+}
+
+func runFig5a(scale float64) {
+	commitChart("Fig. 5a: commit times vs sending rate (10 servers, no delay)",
+		harness.RunCommitTimeStudy(harness.CommitVsRate, scale))
+}
+
+func runFig5b(scale float64) {
+	commitChart("Fig. 5b: commit times vs number of servers (10,000 el/s)",
+		harness.RunCommitTimeStudy(harness.CommitVsServers, scale))
+}
+
+func runFig5c(scale float64) {
+	commitChart("Fig. 5c: commit times vs network delay (10 servers, 10,000 el/s)",
+		harness.RunCommitTimeStudy(harness.CommitVsDelay, scale))
+}
+
+func runD1(float64) {
+	t := &textplot.Table{
+		Title: "Appendix D.1: analytical throughput (n=10, C=0.5 MiB, R=0.8 b/s, le=438, lp=lh=139)\n" +
+			"paper: Tv≈955, Tc[100]≈2497, Tc[500]≈3330, Th[100]≈27157, Th[500]≈147857",
+		Headers: []string{"Algorithm", "Collector", "Throughput el/s"},
+	}
+	rows := analysis.D1Table()
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].Throughput < rows[j].Throughput })
+	for _, r := range rows {
+		c := "-"
+		if r.Collector > 0 {
+			c = fmt.Sprintf("%d", r.Collector)
+		}
+		t.AddRow(r.Label, c, fmt.Sprintf("%.0f", r.Throughput))
+	}
+	fmt.Print(t.Render())
+	p := analysis.PaperParams()
+	p.CollectorSize = 500
+	fmt.Printf("\nheadline ratios: Th[500]/Tv = %.0f (paper ~155), Th[500]/Tc[500] = %.0f (paper ~44)\n",
+		analysis.HashchainThroughput(p)/analysis.VanillaThroughput(p),
+		analysis.HashchainThroughput(p)/analysis.CompresschainThroughput(p))
+}

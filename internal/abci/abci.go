@@ -1,0 +1,35 @@
+// Package abci defines the interface between the block-based ledger and
+// the replicated application, mirroring CometBFT's Application BlockChain
+// Interface (ABCI) in the two places the paper uses it (Appendix E):
+// transaction admission (CheckTx) and ordered block delivery
+// (FinalizeBlock). The Setchain server logic lives entirely behind this
+// interface, exactly as the paper implements its algorithms "in the ABCI
+// section of the ledger".
+package abci
+
+import "repro/internal/wire"
+
+// Application is the replicated state machine driven by the ledger.
+type Application interface {
+	// CheckTx validates a transaction before it is admitted to a mempool.
+	// It runs on every node a transaction reaches (submission target and
+	// gossip receivers alike). Returning false drops the transaction at
+	// that node. CheckTx must not mutate application state.
+	CheckTx(tx *wire.Tx) bool
+
+	// FinalizeBlock delivers a committed block. The ledger guarantees the
+	// paper's Properties 9-11: every correct node receives the same blocks
+	// in the same order, exactly once, and every appended valid
+	// transaction is eventually delivered in some block.
+	FinalizeBlock(b *wire.Block)
+}
+
+// NopApplication accepts everything and ignores blocks; useful as a default
+// and in ledger-only tests.
+type NopApplication struct{}
+
+// CheckTx implements Application.
+func (NopApplication) CheckTx(*wire.Tx) bool { return true }
+
+// FinalizeBlock implements Application.
+func (NopApplication) FinalizeBlock(*wire.Block) {}

@@ -1,0 +1,93 @@
+// Package batchstore implements Hashchain's hash-reversal substrate: a
+// per-server store mapping batch hashes to batch contents (the pseudocode's
+// hash_to_batch map plus Register_batch), and the request/response message
+// types servers exchange to recover a batch from its hash (Request_batch).
+//
+// The store is the distributed service the paper identifies as Hashchain's
+// bottleneck: every server must obtain every batch to validate it before
+// co-signing its hash, so batches flow origin → n-1 peers for every
+// collector flush.
+package batchstore
+
+import (
+	"repro/internal/wire"
+)
+
+// Store holds batches by hash for one server.
+type Store struct {
+	byHash map[string]*wire.Batch
+
+	// Stats.
+	registered uint64
+	hits       uint64
+	misses     uint64
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{byHash: make(map[string]*wire.Batch)}
+}
+
+// Register saves a batch under its hash (Register_batch in the paper).
+// Re-registering the same hash is a no-op.
+func (s *Store) Register(hash []byte, b *wire.Batch) {
+	key := wire.HashKey(hash)
+	if _, ok := s.byHash[key]; ok {
+		return
+	}
+	s.byHash[key] = b
+	s.registered++
+}
+
+// Get returns the batch for a hash, or nil (the paper's
+// hash_to_batch[h] lookup).
+func (s *Store) Get(hash []byte) *wire.Batch {
+	b, ok := s.byHash[wire.HashKey(hash)]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
+	return b
+}
+
+// Has reports whether the hash is registered without touching hit counters.
+func (s *Store) Has(hash []byte) bool {
+	_, ok := s.byHash[wire.HashKey(hash)]
+	return ok
+}
+
+// Len returns the number of stored batches.
+func (s *Store) Len() int { return len(s.byHash) }
+
+// Stats returns (registered, hits, misses).
+func (s *Store) Stats() (registered, hits, misses uint64) {
+	return s.registered, s.hits, s.misses
+}
+
+// Request asks the receiver for the batch whose hash is Hash. ReqID lets
+// the requester correlate the response and detect late replies.
+type Request struct {
+	Hash  []byte
+	ReqID uint64
+}
+
+// RequestWireSize is the bytes a batch request occupies on the network.
+const RequestWireSize = 80
+
+// Response carries the batch (or Found=false if the receiver does not have
+// it — a Byzantine server may also simply never respond).
+type Response struct {
+	Hash  []byte
+	ReqID uint64
+	Found bool
+	Batch *wire.Batch
+}
+
+// ResponseWireSize returns the response's network footprint.
+func (r *Response) ResponseWireSize() int {
+	if !r.Found || r.Batch == nil {
+		return 96
+	}
+	return 96 + r.Batch.RawSize()
+}

@@ -1,0 +1,76 @@
+package batchstore
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func batchOf(n int) *wire.Batch {
+	b := &wire.Batch{}
+	for i := 0; i < n; i++ {
+		e := &wire.Element{Size: 438}
+		e.ID[0] = byte(i)
+		b.Elements = append(b.Elements, e)
+	}
+	return b
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	s := New()
+	h := []byte("hash-1")
+	b := batchOf(3)
+	s.Register(h, b)
+	if got := s.Get(h); got != b {
+		t.Fatal("Get returned wrong batch")
+	}
+	if s.Get([]byte("missing")) != nil {
+		t.Fatal("missing hash returned a batch")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d, want 1", s.Len())
+	}
+	reg, hits, misses := s.Stats()
+	if reg != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 1/1/1", reg, hits, misses)
+	}
+}
+
+func TestReRegisterIsNoop(t *testing.T) {
+	s := New()
+	h := []byte("h")
+	first := batchOf(1)
+	s.Register(h, first)
+	s.Register(h, batchOf(9))
+	if s.Get(h) != first {
+		t.Fatal("re-register replaced the original batch")
+	}
+	reg, _, _ := s.Stats()
+	if reg != 1 {
+		t.Fatalf("registered = %d, want 1", reg)
+	}
+}
+
+func TestHasDoesNotTouchCounters(t *testing.T) {
+	s := New()
+	s.Register([]byte("h"), batchOf(1))
+	if !s.Has([]byte("h")) || s.Has([]byte("x")) {
+		t.Fatal("Has wrong")
+	}
+	_, hits, misses := s.Stats()
+	if hits != 0 || misses != 0 {
+		t.Fatal("Has touched hit/miss counters")
+	}
+}
+
+func TestResponseWireSize(t *testing.T) {
+	b := batchOf(10)
+	r := &Response{Hash: []byte("h"), Found: true, Batch: b}
+	if got := r.ResponseWireSize(); got != 96+b.RawSize() {
+		t.Fatalf("size = %d, want %d", got, 96+b.RawSize())
+	}
+	empty := &Response{Found: false}
+	if empty.ResponseWireSize() != 96 {
+		t.Fatal("not-found response size wrong")
+	}
+}

@@ -1,0 +1,98 @@
+// Package byzantine provides preset fault behaviors for Setchain servers,
+// covering the attacks the paper's algorithms are designed to survive with
+// up to f < n/2 faulty servers:
+//
+//   - silence (crash-like: the server sends nothing);
+//   - invalid-element injection (the reason FinalizeBlock must re-validate:
+//     "a Byzantine server may have added invalid elements to the ledger");
+//   - hash-batch-without-data (signing a hash but refusing to serve the
+//     batch, the scenario that motivates f+1-signature consolidation);
+//   - selective serving (serving only some peers, the ordering attack the
+//     unconditional-signer-counting refinement defends against);
+//   - wrong-batch responses (hash mismatch, detected by requesters);
+//   - corrupt epoch-proofs (signatures over wrong hashes, rejected by
+//     servers and clients).
+package byzantine
+
+import (
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/wire"
+)
+
+// Silent crashes a server at the network level: it neither sends nor
+// receives. Call with down=false to revive it.
+func Silent(net *netsim.Network, id wire.NodeID, down bool) {
+	net.SetDown(id, down)
+}
+
+// InjectInvalid returns behavior that adds count invalid elements to every
+// batch the server creates.
+func InjectInvalid(count int) *core.Behavior {
+	return &core.Behavior{InjectBogusElements: count}
+}
+
+// WithholdBatches returns behavior that never serves Request_batch: the
+// server's hash-batches can never be validated by peers, so its batches
+// never gather f+1 signatures and never consolidate.
+func WithholdBatches() *core.Behavior {
+	return &core.Behavior{RefuseServe: func(int, []byte) bool { return true }}
+}
+
+// ServeOnly returns behavior that serves batch requests only to the listed
+// peers — the selective-serving attack on consolidation ordering.
+func ServeOnly(peers ...int) *core.Behavior {
+	allowed := make(map[int]bool, len(peers))
+	for _, p := range peers {
+		allowed[p] = true
+	}
+	return &core.Behavior{
+		RefuseServe: func(to int, _ []byte) bool { return !allowed[to] },
+	}
+}
+
+// WrongBatches returns behavior that answers Request_batch with corrupted
+// content whose hash does not match.
+func WrongBatches() *core.Behavior {
+	return &core.Behavior{ServeWrongBatch: true}
+}
+
+// CorruptProofs returns behavior that signs garbage epoch hashes.
+func CorruptProofs() *core.Behavior {
+	return &core.Behavior{CorruptProofs: true}
+}
+
+// Combine merges several behaviors into one (later behaviors win for
+// scalar fields; RefuseServe predicates are OR-ed).
+func Combine(bs ...*core.Behavior) *core.Behavior {
+	out := &core.Behavior{}
+	var refusals []func(int, []byte) bool
+	for _, b := range bs {
+		if b == nil {
+			continue
+		}
+		if b.RefuseServe != nil {
+			refusals = append(refusals, b.RefuseServe)
+		}
+		if b.ServeWrongBatch {
+			out.ServeWrongBatch = true
+		}
+		if b.CorruptProofs {
+			out.CorruptProofs = true
+		}
+		if b.InjectBogusElements > out.InjectBogusElements {
+			out.InjectBogusElements = b.InjectBogusElements
+		}
+	}
+	if len(refusals) > 0 {
+		out.RefuseServe = func(to int, hash []byte) bool {
+			for _, r := range refusals {
+				if r(to, hash) {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	return out
+}

@@ -1,0 +1,62 @@
+package byzantine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestServeOnly(t *testing.T) {
+	b := ServeOnly(1, 2)
+	if b.RefuseServe(1, nil) || b.RefuseServe(2, nil) {
+		t.Fatal("allowed peer refused")
+	}
+	if !b.RefuseServe(3, nil) {
+		t.Fatal("disallowed peer served")
+	}
+}
+
+func TestWithholdBatches(t *testing.T) {
+	b := WithholdBatches()
+	for to := 0; to < 5; to++ {
+		if !b.RefuseServe(to, []byte("h")) {
+			t.Fatal("withholding server served a request")
+		}
+	}
+}
+
+func TestPresetsSetExpectedFields(t *testing.T) {
+	if InjectInvalid(3).InjectBogusElements != 3 {
+		t.Fatal("InjectInvalid count wrong")
+	}
+	if !WrongBatches().ServeWrongBatch {
+		t.Fatal("WrongBatches flag unset")
+	}
+	if !CorruptProofs().CorruptProofs {
+		t.Fatal("CorruptProofs flag unset")
+	}
+}
+
+func TestCombine(t *testing.T) {
+	b := Combine(ServeOnly(1), WrongBatches(), InjectInvalid(2), nil, CorruptProofs())
+	if !b.ServeWrongBatch || !b.CorruptProofs || b.InjectBogusElements != 2 {
+		t.Fatal("combined scalar fields wrong")
+	}
+	if b.RefuseServe(1, nil) {
+		t.Fatal("combined refusal blocks allowed peer")
+	}
+	if !b.RefuseServe(2, nil) {
+		t.Fatal("combined refusal misses disallowed peer")
+	}
+}
+
+func TestCombineEmpty(t *testing.T) {
+	b := Combine()
+	if b.RefuseServe != nil || b.ServeWrongBatch || b.CorruptProofs || b.InjectBogusElements != 0 {
+		t.Fatal("empty combine is not the correct behavior")
+	}
+	var zero core.Behavior
+	if b.ServeWrongBatch != zero.ServeWrongBatch {
+		t.Fatal("zero-value mismatch")
+	}
+}

@@ -1,0 +1,51 @@
+package codec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzDecodeBatch throws arbitrary bytes at the batch decoder; it must
+// never panic, and anything it accepts must re-encode to the same bytes
+// (decode-encode fixpoint on valid inputs).
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	rng := rand.New(rand.NewSource(1))
+	b := &wire.Batch{Elements: []*wire.Element{randElement(rng)},
+		Proofs: []*wire.EpochProof{randProof(rng)}}
+	f.Add(EncodeBatch(b))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeBatch(batch), data) {
+			t.Fatalf("accepted input is not an encode fixpoint")
+		}
+	})
+}
+
+// FuzzDecodeTx does the same for the transaction envelope.
+func FuzzDecodeTx(f *testing.F) {
+	rng := rand.New(rand.NewSource(2))
+	enc, _ := EncodeTx(&wire.Tx{Kind: wire.TxElement, Element: randElement(rng)})
+	f.Add(enc)
+	f.Add([]byte{byte(wire.TxHashBatch)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tx, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeTx(tx)
+		if err != nil {
+			t.Fatalf("decoded tx failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input is not an encode fixpoint")
+		}
+	})
+}

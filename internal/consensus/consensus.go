@@ -1,0 +1,937 @@
+// Package consensus implements a Tendermint-style Byzantine fault tolerant
+// consensus engine, the core of this repo's CometBFT substitute. It follows
+// the structure of Tendermint/CometBFT consensus (Buchman, Kwon, Milosevic,
+// "The latest gossip on BFT consensus"):
+//
+//   - heights decided one at a time, each through one or more rounds;
+//   - rotating proposers; a proposal carries the full block;
+//   - two voting phases (prevote, precommit) with 2f+1-of-3f+1 quorums;
+//   - value locking: once a validator precommits a block it only prevotes
+//     that block in later rounds until a newer quorum releases it;
+//   - timeouts with per-round escalation to skip faulty proposers;
+//   - catch-up: a validator that observes a precommit quorum for a block it
+//     never received requests the block from a voter.
+//
+// Tolerates f < n/3 Byzantine validators, the bound the paper notes for
+// CometBFT (the Setchain layer above only needs f < n/2 of its own model).
+//
+// Block pacing follows the paper's measured deployment: one block roughly
+// every 1.25 s (block rate ~0.8 blocks/s), enforced as a minimum
+// start-to-start interval between heights.
+package consensus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"repro/internal/abci"
+	"repro/internal/mempool"
+	"repro/internal/netsim"
+	"repro/internal/setcrypto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Step is the phase of the current round.
+type Step uint8
+
+// Round steps in order.
+const (
+	StepPropose Step = iota
+	StepPrevote
+	StepPrecommit
+)
+
+// VoteType distinguishes the two voting phases.
+type VoteType uint8
+
+// Vote phases.
+const (
+	VotePrevote VoteType = iota
+	VotePrecommit
+)
+
+func (v VoteType) String() string {
+	if v == VotePrevote {
+		return "prevote"
+	}
+	return "precommit"
+}
+
+// nilBlockID is the vote value meaning "no block this round".
+const nilBlockID = ""
+
+// Proposal is the proposer's block announcement for (height, round).
+type Proposal struct {
+	Height   uint64
+	Round    int32
+	Block    *wire.Block
+	BlockID  string
+	Proposer wire.NodeID
+	Sig      []byte
+}
+
+// Vote is a prevote or precommit for a block id (or nil) at (height, round).
+type Vote struct {
+	Height  uint64
+	Round   int32
+	Type    VoteType
+	BlockID string
+	Voter   wire.NodeID
+	Sig     []byte
+}
+
+// BlockRequest asks a peer for the proposal behind a blockID the requester
+// saw a precommit quorum for but never received. An empty BlockID asks for
+// whatever block was DECIDED at that height (deep catch-up after an
+// outage); such responses must carry a commit certificate.
+type BlockRequest struct {
+	Height  uint64
+	BlockID string
+}
+
+// BlockResponse answers a BlockRequest. Commit carries the 2f+1 precommit
+// votes certifying the decision when the request had no blockID; the
+// requester verifies every signature before committing.
+type BlockResponse struct {
+	Proposal *Proposal
+	Commit   []*Vote
+}
+
+// voteWireSize approximates a consensus vote's bytes on the wire.
+const voteWireSize = 120
+
+// proposalOverhead is the proposal envelope beyond the block's tx bytes.
+const proposalOverhead = 200
+
+// Params configures the engine. Zero values take paper-calibrated defaults.
+type Params struct {
+	// MaxBlockBytes is the ledger block size C (paper default 0.5 MiB).
+	MaxBlockBytes int
+	// TimeoutCommit is CometBFT's post-commit wait before starting the
+	// next height, so the inter-block interval is consensus latency +
+	// TimeoutCommit. 1.24 s yields the paper's ~0.8 blocks/s on a LAN and,
+	// as in the real system, the block rate degrades as network delay
+	// stretches consensus.
+	TimeoutCommit time.Duration
+	// TimeoutPropose is how long validators wait for a proposal in round 0
+	// before prevoting nil; each later round adds TimeoutDelta.
+	TimeoutPropose time.Duration
+	// TimeoutPrevote / TimeoutPrecommit bound the voting phases after a
+	// quorum of conflicting/absent votes is seen.
+	TimeoutPrevote   time.Duration
+	TimeoutPrecommit time.Duration
+	// TimeoutDelta is the per-round escalation added to each timeout.
+	TimeoutDelta time.Duration
+}
+
+// PaperParams returns the evaluation configuration (C = 0.5 MiB, one block
+// every 1.25 s).
+func PaperParams() Params {
+	return Params{
+		MaxBlockBytes:    512 * 1024,
+		TimeoutCommit:    1240 * time.Millisecond,
+		TimeoutPropose:   3 * time.Second,
+		TimeoutPrevote:   time.Second,
+		TimeoutPrecommit: time.Second,
+		TimeoutDelta:     500 * time.Millisecond,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := PaperParams()
+	if p.MaxBlockBytes == 0 {
+		p.MaxBlockBytes = d.MaxBlockBytes
+	}
+	if p.TimeoutCommit == 0 {
+		p.TimeoutCommit = d.TimeoutCommit
+	}
+	if p.TimeoutPropose == 0 {
+		p.TimeoutPropose = d.TimeoutPropose
+	}
+	if p.TimeoutPrevote == 0 {
+		p.TimeoutPrevote = d.TimeoutPrevote
+	}
+	if p.TimeoutPrecommit == 0 {
+		p.TimeoutPrecommit = d.TimeoutPrecommit
+	}
+	if p.TimeoutDelta == 0 {
+		p.TimeoutDelta = d.TimeoutDelta
+	}
+	return p
+}
+
+// ProposalMutator lets a Byzantine validator rewrite the transactions of
+// blocks it proposes (e.g. to inject invalid Setchain elements, the attack
+// the paper's algorithms must filter in FinalizeBlock).
+type ProposalMutator func(txs []*wire.Tx) []*wire.Tx
+
+// CommitListener observes committed blocks (metrics, tests).
+type CommitListener func(node wire.NodeID, b *wire.Block)
+
+type roundVotes struct {
+	votes  [2]map[string]map[wire.NodeID]*Vote // by VoteType: blockID -> voter -> vote
+	voters [2]map[wire.NodeID]bool             // distinct voters per type
+}
+
+func newRoundVotes() *roundVotes {
+	rv := &roundVotes{}
+	for i := range rv.votes {
+		rv.votes[i] = make(map[string]map[wire.NodeID]*Vote)
+		rv.voters[i] = make(map[wire.NodeID]bool)
+	}
+	return rv
+}
+
+func (rv *roundVotes) add(v *Vote) bool {
+	t := int(v.Type)
+	byID := rv.votes[t][v.BlockID]
+	if byID == nil {
+		byID = make(map[wire.NodeID]*Vote)
+		rv.votes[t][v.BlockID] = byID
+	}
+	if byID[v.Voter] != nil {
+		return false
+	}
+	byID[v.Voter] = v
+	rv.voters[t][v.Voter] = true
+	return true
+}
+
+// voteOf returns the vote a validator already cast for this type, if any.
+func (rv *roundVotes) voteOf(t VoteType, voter wire.NodeID) *Vote {
+	for _, byVoter := range rv.votes[int(t)] {
+		if v := byVoter[voter]; v != nil {
+			return v
+		}
+	}
+	return nil
+}
+
+func (rv *roundVotes) count(t VoteType, blockID string) int {
+	return len(rv.votes[t][blockID])
+}
+
+func (rv *roundVotes) totalVoters(t VoteType) int { return len(rv.voters[t]) }
+
+// quorumBlockID returns a blockID (possibly nil) holding >= q votes of the
+// given type, if any.
+func (rv *roundVotes) quorumBlockID(t VoteType, q int) (string, bool) {
+	for id, voters := range rv.votes[t] {
+		if len(voters) >= q {
+			return id, true
+		}
+	}
+	return "", false
+}
+
+// Node is one validator's consensus state machine.
+type Node struct {
+	id         wire.NodeID
+	validators []wire.NodeID
+	sim        *sim.Simulator
+	net        *netsim.Network
+	params     Params
+	suite      setcrypto.Suite
+	key        setcrypto.KeyPair
+	registry   *setcrypto.Registry
+	pool       *mempool.Mempool
+	app        abci.Application
+
+	height      uint64
+	round       int32
+	step        Step
+	heightStart time.Duration
+	proposals   map[int32]*Proposal
+	votes       map[int32]*roundVotes
+	lockedID    string
+	lockedRound int32
+
+	chain []*wire.Block
+	// decidedProps/decidedCommits retain the proposals and precommit
+	// certificates of recently committed heights so lagging peers can
+	// catch up after this node advanced.
+	decidedProps   map[uint64]*Proposal
+	decidedCommits map[uint64][]*Vote
+	decided        bool // current height decided, waiting for next-height start
+
+	// Deep catch-up state: the highest height observed in buffered future
+	// messages and whether a certified-block request is in flight.
+	futureHeight   uint64
+	futureSender   wire.NodeID
+	catchupPending bool
+	stopped        bool
+	mutator        ProposalMutator
+	onCommit       CommitListener
+
+	futureMsgs []any // buffered messages for heights beyond the current one
+
+	// Stats.
+	roundsUsed    uint64
+	catchupReqs   uint64
+	invalidMsgs   uint64
+	emptyBlocks   uint64
+	totalTxBytes  uint64
+	equivocations uint64
+}
+
+// NewNode constructs a validator. Call Start once the network is wired.
+func NewNode(id wire.NodeID, validators []wire.NodeID, s *sim.Simulator, net *netsim.Network,
+	params Params, suite setcrypto.Suite, key setcrypto.KeyPair, registry *setcrypto.Registry,
+	pool *mempool.Mempool, app abci.Application) *Node {
+	if app == nil {
+		app = abci.NopApplication{}
+	}
+	return &Node{
+		decidedProps:   make(map[uint64]*Proposal),
+		decidedCommits: make(map[uint64][]*Vote),
+		id:             id,
+		validators:     append([]wire.NodeID(nil), validators...),
+		sim:            s,
+		net:            net,
+		params:         params.withDefaults(),
+		suite:          suite,
+		key:            key,
+		registry:       registry,
+		pool:           pool,
+		app:            app,
+		height:         1,
+		proposals:      make(map[int32]*Proposal),
+		votes:          make(map[int32]*roundVotes),
+		lockedID:       nilBlockID,
+		lockedRound:    -1,
+	}
+}
+
+// SetProposalMutator installs a Byzantine proposal rewrite (tests/faults).
+func (n *Node) SetProposalMutator(m ProposalMutator) { n.mutator = m }
+
+// SetCommitListener installs a block-commit observer.
+func (n *Node) SetCommitListener(l CommitListener) { n.onCommit = l }
+
+// Params returns the node's effective (defaulted) parameters.
+func (n *Node) Params() Params { return n.params }
+
+// Quorum returns the 2f+1 vote threshold for the validator set.
+func (n *Node) Quorum() int {
+	f := (len(n.validators) - 1) / 3
+	return 2*f + 1
+}
+
+// Height returns the height currently being decided.
+func (n *Node) Height() uint64 { return n.height }
+
+// Chain returns the committed blocks in order.
+func (n *Node) Chain() []*wire.Block { return n.chain }
+
+// RoundsUsed returns the cumulative number of extra rounds consumed (0 when
+// every height decides in round 0).
+func (n *Node) RoundsUsed() uint64 { return n.roundsUsed }
+
+// CatchupRequests returns how many block-recovery requests this node sent.
+func (n *Node) CatchupRequests() uint64 { return n.catchupReqs }
+
+// InvalidMessages returns how many malformed/forged consensus messages
+// were dropped.
+func (n *Node) InvalidMessages() uint64 { return n.invalidMsgs }
+
+// EmptyBlocks returns how many committed blocks carried no transactions.
+func (n *Node) EmptyBlocks() uint64 { return n.emptyBlocks }
+
+// TotalTxBytes returns the cumulative transaction bytes committed.
+func (n *Node) TotalTxBytes() uint64 { return n.totalTxBytes }
+
+// Equivocations returns how many conflicting double-votes were detected
+// and discarded.
+func (n *Node) Equivocations() uint64 { return n.equivocations }
+
+// SignVote signs a vote's canonical bytes; exported for tooling and fault
+// injection in tests.
+func SignVote(suite setcrypto.Suite, key setcrypto.KeyPair, v *Vote) []byte {
+	n := &Node{}
+	return suite.Sign(key, n.voteSignBytes(v))
+}
+
+// Stop freezes the node (end of experiment).
+func (n *Node) Stop() { n.stopped = true }
+
+// Start schedules the first height.
+func (n *Node) Start() {
+	n.sim.After(0, func() { n.enterHeight(1) })
+}
+
+func (n *Node) proposerFor(height uint64, round int32) wire.NodeID {
+	idx := (int(height) + int(round)) % len(n.validators)
+	return n.validators[idx]
+}
+
+func (n *Node) enterHeight(h uint64) {
+	if n.stopped || h != n.height {
+		return
+	}
+	// Proposal/vote state for this height was reset when the previous
+	// height committed, so messages that raced ahead during the commit
+	// wait are already tallied here.
+	n.decided = false
+	n.heightStart = n.sim.Now()
+	n.enterRound(0)
+	n.replayFuture()
+}
+
+func (n *Node) enterRound(r int32) {
+	if n.stopped {
+		return
+	}
+	n.round = r
+	n.step = StepPropose
+	if r > 0 {
+		n.roundsUsed++
+	}
+	if n.proposerFor(n.height, r) == n.id {
+		n.propose(r)
+	}
+	// Even the proposer arms the timeout: if its own proposal somehow fails
+	// to gather votes the round must still advance.
+	h, round := n.height, r
+	n.sim.After(n.timeout(n.params.TimeoutPropose, r), func() {
+		n.onTimeoutPropose(h, round)
+	})
+	// Proposals and votes for this round may have arrived before we
+	// entered it (early traffic during the previous height's commit wait,
+	// or a round skip): act on the existing tallies now.
+	n.sweep()
+}
+
+// sweep re-evaluates the stored proposal and vote tallies for the current
+// round, advancing through any steps whose conditions are already met.
+// handleProposal/handleVote only react to NEW messages, so entering a
+// height or round must explicitly recheck state that accumulated earlier.
+func (n *Node) sweep() {
+	if n.stopped || n.decided {
+		return
+	}
+	if n.step == StepPropose {
+		if p := n.proposals[n.round]; p != nil {
+			n.tryPrevote(p)
+		}
+	}
+	if n.step == StepPrevote && !n.decided {
+		if rv := n.votes[n.round]; rv != nil {
+			if id, ok := rv.quorumBlockID(VotePrevote, n.Quorum()); ok {
+				if id != nilBlockID {
+					n.lockedID = id
+					n.lockedRound = n.round
+				}
+				n.advanceToPrecommit(id)
+			}
+		}
+	}
+	for r := range n.votes {
+		n.tryCommit(r)
+	}
+}
+
+func (n *Node) timeout(base time.Duration, round int32) time.Duration {
+	return base + time.Duration(round)*n.params.TimeoutDelta
+}
+
+func (n *Node) blockID(height uint64, round int32, proposer wire.NodeID, txs []*wire.Tx) string {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint64(hdr[0:], height)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(round))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(proposer))
+	chunks := [][]byte{hdr[:]}
+	for _, tx := range txs {
+		chunks = append(chunks, []byte(tx.Key()))
+	}
+	return string(n.suite.HashData(chunks...))
+}
+
+func (n *Node) propose(r int32) {
+	txs := n.pool.Reap(n.params.MaxBlockBytes)
+	if n.mutator != nil {
+		txs = n.mutator(txs)
+	}
+	bytes := 0
+	for _, tx := range txs {
+		bytes += tx.WireSize()
+	}
+	block := &wire.Block{Height: n.height, Proposer: n.id, Txs: txs, Bytes: bytes}
+	p := &Proposal{
+		Height:   n.height,
+		Round:    r,
+		Block:    block,
+		BlockID:  n.blockID(n.height, r, n.id, txs),
+		Proposer: n.id,
+	}
+	p.Sig = n.suite.Sign(n.key, n.proposalSignBytes(p))
+	size := bytes + proposalOverhead
+	n.net.Broadcast(n.id, p, size)
+	n.handleProposal(p) // self-delivery
+}
+
+func (n *Node) proposalSignBytes(p *Proposal) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Height)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Round))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Proposer))
+	return append(buf, p.BlockID...)
+}
+
+func (n *Node) voteSignBytes(v *Vote) []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, v.Height)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Round))
+	buf = append(buf, byte(v.Type))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Voter))
+	return append(buf, v.BlockID...)
+}
+
+// Receive is the network entry point for all consensus payloads.
+func (n *Node) Receive(from wire.NodeID, payload any) {
+	if n.stopped {
+		return
+	}
+	switch msg := payload.(type) {
+	case *Proposal:
+		n.handleProposal(msg)
+	case *Vote:
+		n.handleVote(msg)
+	case *BlockRequest:
+		n.handleBlockRequest(from, msg)
+	case *BlockResponse:
+		if len(msg.Commit) > 0 {
+			n.handleCertifiedBlock(msg)
+			return
+		}
+		if msg.Proposal != nil {
+			n.handleProposal(msg.Proposal)
+		}
+	}
+}
+
+func (n *Node) handleProposal(p *Proposal) {
+	if p.Height < n.height {
+		return // stale
+	}
+	if p.Height > n.height {
+		n.bufferFuture(p)
+		return
+	}
+	if p.Proposer != n.proposerFor(p.Height, p.Round) {
+		n.invalidMsgs++
+		return
+	}
+	pub := n.registry.Lookup(int(p.Proposer))
+	if pub == nil || !n.suite.Verify(pub, n.proposalSignBytes(p), p.Sig) {
+		n.invalidMsgs++
+		return
+	}
+	// Structural check: the block must match the announced id and respect
+	// the size limit. (Application-level tx validity is NOT checked here:
+	// the paper's model explicitly allows Byzantine servers to put invalid
+	// elements on the ledger; Setchain filters them in FinalizeBlock.)
+	if p.Block == nil || p.Block.Height != p.Height ||
+		n.blockID(p.Height, p.Round, p.Proposer, p.Block.Txs) != p.BlockID {
+		n.invalidMsgs++
+		return
+	}
+	if p.Block.Bytes > n.params.MaxBlockBytes {
+		n.invalidMsgs++
+		return
+	}
+	if _, dup := n.proposals[p.Round]; dup {
+		return
+	}
+	n.proposals[p.Round] = p
+	if p.Round == n.round && n.step == StepPropose {
+		n.tryPrevote(p)
+	}
+	// The proposal may complete a precommit quorum observed earlier.
+	n.tryCommit(p.Round)
+}
+
+func (n *Node) tryPrevote(p *Proposal) {
+	if n.decided || n.step != StepPropose || p.Round != n.round {
+		return
+	}
+	// Locking rule: if locked on a block from an earlier round, prevote it
+	// unless this proposal is that very block.
+	id := p.BlockID
+	if n.lockedID != nilBlockID && n.lockedID != id {
+		id = nilBlockID
+	}
+	n.step = StepPrevote
+	n.castVote(VotePrevote, id)
+	h, r := n.height, n.round
+	n.sim.After(n.timeout(n.params.TimeoutPrevote, r), func() {
+		n.onTimeoutPrevote(h, r)
+	})
+}
+
+func (n *Node) castVote(t VoteType, blockID string) {
+	v := &Vote{Height: n.height, Round: n.round, Type: t, BlockID: blockID, Voter: n.id}
+	v.Sig = n.suite.Sign(n.key, n.voteSignBytes(v))
+	n.net.Broadcast(n.id, v, voteWireSize)
+	n.handleVote(v) // self-delivery
+}
+
+func (n *Node) handleVote(v *Vote) {
+	if v.Height < n.height {
+		return
+	}
+	if v.Height > n.height {
+		n.bufferFuture(v)
+		return
+	}
+	valid := false
+	for _, val := range n.validators {
+		if val == v.Voter {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		n.invalidMsgs++
+		return
+	}
+	pub := n.registry.Lookup(int(v.Voter))
+	if pub == nil || !n.suite.Verify(pub, n.voteSignBytes(v), v.Sig) {
+		n.invalidMsgs++
+		return
+	}
+	rv := n.votes[v.Round]
+	if rv == nil {
+		rv = newRoundVotes()
+		n.votes[v.Round] = rv
+	}
+	// Equivocation defense: a validator's first vote per (round, type)
+	// wins; a conflicting second vote is evidence of Byzantine behavior
+	// and is not counted (Tendermint would additionally gossip the
+	// evidence for slashing; here we record it).
+	if prev := rv.voteOf(v.Type, v.Voter); prev != nil {
+		if prev.BlockID != v.BlockID {
+			n.equivocations++
+		}
+		return
+	}
+	if !rv.add(v) {
+		return
+	}
+	q := n.Quorum()
+
+	// Round skip: f+1 voters already in a later round means ours is dead.
+	f := (len(n.validators) - 1) / 3
+	if v.Round > n.round && !n.decided {
+		distinct := make(map[wire.NodeID]bool)
+		for r, votes := range n.votes {
+			if r <= n.round {
+				continue
+			}
+			for _, t := range []VoteType{VotePrevote, VotePrecommit} {
+				for voter := range votes.voters[int(t)] {
+					distinct[voter] = true
+				}
+			}
+		}
+		if len(distinct) >= f+1 {
+			n.enterRound(v.Round)
+		}
+	}
+
+	if v.Round == n.round && !n.decided {
+		switch v.Type {
+		case VotePrevote:
+			if id, ok := rv.quorumBlockID(VotePrevote, q); ok && n.step == StepPrevote {
+				if id != nilBlockID {
+					// Lock and precommit the quorum block.
+					n.lockedID = id
+					n.lockedRound = n.round
+					n.advanceToPrecommit(id)
+				} else {
+					n.advanceToPrecommit(nilBlockID)
+				}
+			}
+		case VotePrecommit:
+			if id, ok := rv.quorumBlockID(VotePrecommit, q); ok {
+				if id == nilBlockID {
+					if n.step == StepPrecommit {
+						n.enterRound(n.round + 1)
+					}
+				} else {
+					n.tryCommitID(v.Round, id)
+				}
+			}
+		}
+	} else if v.Type == VotePrecommit {
+		// Precommit quorum can complete for a round other than ours.
+		n.tryCommit(v.Round)
+	}
+}
+
+func (n *Node) advanceToPrecommit(blockID string) {
+	n.step = StepPrecommit
+	n.castVote(VotePrecommit, blockID)
+	h, r := n.height, n.round
+	n.sim.After(n.timeout(n.params.TimeoutPrecommit, r), func() {
+		n.onTimeoutPrecommit(h, r)
+	})
+}
+
+func (n *Node) tryCommit(round int32) {
+	rv := n.votes[round]
+	if rv == nil {
+		return
+	}
+	if id, ok := rv.quorumBlockID(VotePrecommit, n.Quorum()); ok && id != nilBlockID {
+		n.tryCommitID(round, id)
+	}
+}
+
+func (n *Node) tryCommitID(round int32, blockID string) {
+	if n.decided {
+		return
+	}
+	p := n.proposals[round]
+	if p == nil || p.BlockID != blockID {
+		// Quorum exists but the block is missing: catch up from a voter.
+		n.requestBlock(round, blockID)
+		return
+	}
+	n.commit(p)
+}
+
+func (n *Node) requestBlock(round int32, blockID string) {
+	rv := n.votes[round]
+	if rv == nil {
+		return
+	}
+	req := &BlockRequest{Height: n.height, BlockID: blockID}
+	for voter := range rv.votes[int(VotePrecommit)][blockID] {
+		if voter != n.id {
+			n.catchupReqs++
+			n.net.Send(n.id, voter, req, 64)
+			return // one request at a time; timeouts re-trigger if lost
+		}
+	}
+}
+
+func (n *Node) handleBlockRequest(from wire.NodeID, req *BlockRequest) {
+	// Serve committed heights from the retained decided proposals, and the
+	// in-progress height from the pending proposal set. An empty BlockID is
+	// a deep catch-up request and gets the commit certificate too.
+	if p := n.decidedProps[req.Height]; p != nil {
+		if req.BlockID == "" {
+			cert := n.decidedCommits[req.Height]
+			size := p.Block.Bytes + proposalOverhead + len(cert)*voteWireSize
+			n.net.Send(n.id, from, &BlockResponse{Proposal: p, Commit: cert}, size)
+			return
+		}
+		if p.BlockID == req.BlockID {
+			n.net.Send(n.id, from, &BlockResponse{Proposal: p}, p.Block.Bytes+proposalOverhead)
+			return
+		}
+	}
+	for _, p := range n.proposals {
+		if p.Height == req.Height && p.BlockID == req.BlockID {
+			n.net.Send(n.id, from, &BlockResponse{Proposal: p}, p.Block.Bytes+proposalOverhead)
+			return
+		}
+	}
+}
+
+func (n *Node) commit(p *Proposal) {
+	n.decided = true
+	block := p.Block
+	block.Time = int64(n.sim.Now())
+	n.chain = append(n.chain, block)
+	n.totalTxBytes += uint64(block.Bytes)
+	if len(block.Txs) == 0 {
+		n.emptyBlocks++
+	}
+	n.pool.RemoveCommitted(block.Txs)
+	if n.onCommit != nil {
+		n.onCommit(n.id, block)
+	}
+	n.app.FinalizeBlock(block)
+
+	// Retain the decided proposal and its precommit certificate so lagging
+	// peers can request them after we advance; prune the retention window.
+	n.decidedProps[p.Height] = p
+	for r, rv := range n.votes {
+		byVoter := rv.votes[int(VotePrecommit)][p.BlockID]
+		if len(byVoter) >= n.Quorum() {
+			cert := make([]*Vote, 0, len(byVoter))
+			for _, v := range byVoter {
+				cert = append(cert, v)
+			}
+			n.decidedCommits[p.Height] = cert
+			_ = r
+			break
+		}
+	}
+	if p.Height > 128 {
+		delete(n.decidedProps, p.Height-128)
+		delete(n.decidedCommits, p.Height-128)
+	}
+
+	// Reset consensus state for the next height NOW: proposals and votes
+	// for it can arrive during the commit wait and must not be discarded.
+	h := n.height + 1
+	n.height = h
+	n.proposals = make(map[int32]*Proposal)
+	n.votes = make(map[int32]*roundVotes)
+	n.lockedID = nilBlockID
+	n.lockedRound = -1
+	n.round = 0
+	n.step = StepPropose
+
+	// Pace the chain: CometBFT waits TimeoutCommit after committing before
+	// starting the next height, so block rate = 1/(consensus + timeout).
+	n.sim.After(n.params.TimeoutCommit, func() { n.enterHeight(h) })
+}
+
+func (n *Node) bufferFuture(msg any) {
+	// Bounded buffer: a lagging node only needs messages for height+1; a
+	// deeply lagging node recovers via certified block requests instead.
+	if len(n.futureMsgs) < 4096 {
+		n.futureMsgs = append(n.futureMsgs, msg)
+	}
+	var h uint64
+	var sender wire.NodeID = -1
+	switch m := msg.(type) {
+	case *Proposal:
+		h, sender = m.Height, m.Proposer
+	case *Vote:
+		h, sender = m.Height, m.Voter
+	}
+	if h > n.futureHeight {
+		n.futureHeight = h
+		n.futureSender = sender
+	}
+	// Evidence of a height beyond the next one means the cluster decided
+	// our current height without us: fetch the certified block.
+	if n.futureHeight > n.height+1 {
+		n.maybeCatchup()
+	}
+}
+
+// maybeCatchup requests the certified block for the current height from a
+// peer known to be ahead, with one request in flight at a time.
+func (n *Node) maybeCatchup() {
+	if n.catchupPending || n.decided || n.stopped || n.futureSender < 0 {
+		return
+	}
+	n.catchupPending = true
+	n.catchupReqs++
+	target := n.futureSender
+	height := n.height
+	n.net.Send(n.id, target, &BlockRequest{Height: height}, 64)
+	n.sim.After(2*time.Second, func() {
+		// Retry (possibly via a different ahead peer) until we advance.
+		if n.catchupPending && n.height == height && !n.stopped {
+			n.catchupPending = false
+			n.maybeCatchup()
+		}
+	})
+}
+
+// handleCertifiedBlock validates a deep catch-up response: the proposal
+// must be for our current height, its id must re-derive from its contents,
+// and the certificate must hold 2f+1 valid precommit signatures for it.
+func (n *Node) handleCertifiedBlock(resp *BlockResponse) {
+	p := resp.Proposal
+	if p == nil || n.decided || p.Height != n.height {
+		if p != nil && p.Height < n.height {
+			n.catchupPending = false
+		}
+		return
+	}
+	if p.Block == nil || p.Block.Height != p.Height ||
+		n.blockID(p.Height, p.Round, p.Proposer, p.Block.Txs) != p.BlockID {
+		n.invalidMsgs++
+		return
+	}
+	seen := make(map[wire.NodeID]bool)
+	for _, v := range resp.Commit {
+		if v == nil || v.Height != p.Height || v.Type != VotePrecommit || v.BlockID != p.BlockID {
+			continue
+		}
+		valid := false
+		for _, val := range n.validators {
+			if val == v.Voter {
+				valid = true
+				break
+			}
+		}
+		if !valid || seen[v.Voter] {
+			continue
+		}
+		pub := n.registry.Lookup(int(v.Voter))
+		if pub == nil || !n.suite.Verify(pub, n.voteSignBytes(v), v.Sig) {
+			n.invalidMsgs++
+			continue
+		}
+		seen[v.Voter] = true
+	}
+	if len(seen) < n.Quorum() {
+		n.invalidMsgs++
+		return
+	}
+	n.catchupPending = false
+	n.proposals[p.Round] = p
+	n.commit(p)
+}
+
+func (n *Node) replayFuture() {
+	if len(n.futureMsgs) == 0 {
+		return
+	}
+	msgs := n.futureMsgs
+	n.futureMsgs = nil
+	for _, m := range msgs {
+		switch msg := m.(type) {
+		case *Proposal:
+			n.handleProposal(msg)
+		case *Vote:
+			n.handleVote(msg)
+		}
+	}
+}
+
+func (n *Node) onTimeoutPropose(h uint64, r int32) {
+	if n.stopped || n.decided || h != n.height || r != n.round || n.step != StepPropose {
+		return
+	}
+	// No acceptable proposal in time: prevote nil (or the locked block).
+	id := nilBlockID
+	if n.lockedID != nilBlockID {
+		id = n.lockedID
+	}
+	n.step = StepPrevote
+	n.castVote(VotePrevote, id)
+	n.sim.After(n.timeout(n.params.TimeoutPrevote, r), func() {
+		n.onTimeoutPrevote(h, r)
+	})
+}
+
+func (n *Node) onTimeoutPrevote(h uint64, r int32) {
+	if n.stopped || n.decided || h != n.height || r != n.round || n.step != StepPrevote {
+		return
+	}
+	n.advanceToPrecommit(nilBlockID)
+}
+
+func (n *Node) onTimeoutPrecommit(h uint64, r int32) {
+	if n.stopped || n.decided || h != n.height || r != n.round || n.step != StepPrecommit {
+		return
+	}
+	n.enterRound(r + 1)
+}
+
+// String summarizes the node state for diagnostics.
+func (n *Node) String() string {
+	return fmt.Sprintf("consensus[%d h=%d r=%d step=%d chain=%d]",
+		n.id, n.height, n.round, n.step, len(n.chain))
+}

@@ -1,0 +1,33 @@
+package consensus
+
+import "testing"
+
+func TestVoteBookkeeping(t *testing.T) {
+	rv := newRoundVotes()
+	v := &Vote{Height: 1, Round: 0, Type: VotePrevote, BlockID: "abc", Voter: 1}
+	if !rv.add(v) {
+		t.Fatal("first vote rejected")
+	}
+	if rv.add(v) {
+		t.Fatal("duplicate vote accepted")
+	}
+	if rv.count(VotePrevote, "abc") != 1 {
+		t.Fatal("count wrong")
+	}
+	if rv.totalVoters(VotePrevote) != 1 {
+		t.Fatal("total voters wrong")
+	}
+	if _, ok := rv.quorumBlockID(VotePrevote, 2); ok {
+		t.Fatal("quorum found with one vote")
+	}
+	rv.add(&Vote{Type: VotePrevote, BlockID: "abc", Voter: 2})
+	if id, ok := rv.quorumBlockID(VotePrevote, 2); !ok || id != "abc" {
+		t.Fatal("quorum not found with two votes")
+	}
+}
+
+func TestVoteTypeString(t *testing.T) {
+	if VotePrevote.String() != "prevote" || VotePrecommit.String() != "precommit" {
+		t.Fatal("vote type strings wrong")
+	}
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/setcrypto"
+	"repro/internal/wire"
+)
+
+// Client is a Setchain client: it creates signed elements, adds them
+// through a single server, and can later verify — against the response of a
+// single, possibly Byzantine, server — that an element is committed, using
+// the f+1 epoch-proof rule the paper introduces.
+type Client struct {
+	id       wire.ClientID
+	suite    setcrypto.Suite
+	key      setcrypto.KeyPair
+	registry *setcrypto.Registry
+	n        int
+	f        int
+	mode     Mode
+	seq      uint64
+}
+
+// NewClient creates a client. n and f describe the deployment; the
+// client's public key must already be registered in the PKI at id offset n
+// (see RegisterClientKey).
+func NewClient(id wire.ClientID, suite setcrypto.Suite, key setcrypto.KeyPair,
+	registry *setcrypto.Registry, n, f int, mode Mode) *Client {
+	return &Client{id: id, suite: suite, key: key, registry: registry, n: n, f: f, mode: mode}
+}
+
+// RegisterClientKey records a client's public key in the shared PKI,
+// mapping client ids after the n server ids.
+func RegisterClientKey(registry *setcrypto.Registry, n int, id wire.ClientID, pub setcrypto.PublicKey) {
+	registry.Register(int(id)+clientKeyOffset(n), pub)
+}
+
+// ID returns the client id.
+func (c *Client) ID() wire.ClientID { return c.id }
+
+// NewElement creates and signs a full-fidelity element carrying payload.
+func (c *Client) NewElement(payload []byte) *wire.Element {
+	c.seq++
+	e := &wire.Element{
+		Client:  c.id,
+		Seq:     c.seq,
+		Payload: payload,
+	}
+	c.fillID(e)
+	e.Sig = c.suite.Sign(c.key, e.SigningBytes())
+	e.Size = wire.ElementHeaderSize + len(payload) + len(e.Sig)
+	return e
+}
+
+// NewModeledElement creates a payload-free element with the given wire
+// size, for Modeled-mode simulations.
+func (c *Client) NewModeledElement(size int) *wire.Element {
+	c.seq++
+	e := &wire.Element{Client: c.id, Seq: c.seq, Size: size}
+	c.fillID(e)
+	return e
+}
+
+func (c *Client) fillID(e *wire.Element) {
+	binary.LittleEndian.PutUint64(e.ID[0:8], uint64(c.id))
+	binary.LittleEndian.PutUint64(e.ID[8:16], e.Seq)
+}
+
+// Verification errors.
+var (
+	ErrNotInEpoch         = errors.New("setchain: element not assigned to an epoch yet")
+	ErrInsufficientProofs = errors.New("setchain: fewer than f+1 valid epoch-proofs")
+)
+
+// VerifyCommitted checks — trusting nothing but the PKI — that the element
+// is committed according to a server's get() response: the element must be
+// in some epoch of the returned history, and the returned proofs must
+// contain at least f+1 valid signatures over that epoch's recomputed hash
+// (paper §2, Epoch-proofs). Returns the epoch number on success.
+func (c *Client) VerifyCommitted(snap Snapshot, id wire.ElementID) (uint64, error) {
+	for _, ep := range snap.History {
+		for _, e := range ep.Elements {
+			if e.ID == id {
+				return ep.Number, c.verifyEpoch(snap, ep)
+			}
+		}
+	}
+	return 0, ErrNotInEpoch
+}
+
+func (c *Client) verifyEpoch(snap Snapshot, ep *Epoch) error {
+	// Recompute the epoch hash from the server-supplied content; a
+	// Byzantine server cannot fabricate f+1 signatures over a fake epoch.
+	want := c.suite.HashData(wire.EpochHashInput(ep.Number, ep.Elements))
+	valid := 0
+	for signer, p := range snap.Proofs[ep.Number] {
+		if p == nil || p.Signer != signer {
+			continue
+		}
+		if wire.VerifyEpochProof(c.suite, c.registry, p, want) {
+			valid++
+		}
+	}
+	if valid < c.f+1 {
+		return fmt.Errorf("%w: %d of %d", ErrInsufficientProofs, valid, c.f+1)
+	}
+	return nil
+}
+
+// CountValidProofs returns how many of the snapshot's proofs for an epoch
+// verify against the recomputed epoch hash.
+func (c *Client) CountValidProofs(snap Snapshot, epoch uint64) int {
+	if epoch < 1 || epoch > uint64(len(snap.History)) {
+		return 0
+	}
+	ep := snap.History[epoch-1]
+	want := c.suite.HashData(wire.EpochHashInput(ep.Number, ep.Elements))
+	valid := 0
+	for _, p := range snap.Proofs[epoch] {
+		if wire.VerifyEpochProof(c.suite, c.registry, p, want) {
+			valid++
+		}
+	}
+	return valid
+}

@@ -1,0 +1,388 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/batchstore"
+	"repro/internal/collector"
+	"repro/internal/ledger"
+	"repro/internal/metrics"
+	"repro/internal/setcrypto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Errors returned by Add.
+var (
+	ErrInvalidElement = errors.New("setchain: invalid element")
+	ErrDuplicate      = errors.New("setchain: element already in the_set")
+)
+
+// Epoch is one entry of the Setchain history: an epoch number and the set
+// of elements stamped with it. Elements keep their ledger order so all
+// servers hash the epoch identically.
+type Epoch struct {
+	Number   uint64
+	Elements []*wire.Element
+	Hash     []byte // canonical Hash(number, elements)
+}
+
+// Snapshot is the result of S.get(): (the_set, history, epoch, proofs).
+// It is a zero-copy view of live server state, valid until the next
+// simulator event; callers must treat it as read-only.
+type Snapshot struct {
+	Server  wire.NodeID
+	TheSet  map[wire.ElementID]*wire.Element
+	History []*Epoch
+	Epoch   uint64
+	Proofs  map[uint64]map[wire.NodeID]*wire.EpochProof
+}
+
+// algorithm is the per-variant behavior behind the shared server machinery.
+type algorithm interface {
+	// onAdd runs after a valid fresh element entered the_set.
+	onAdd(e *wire.Element)
+	// checkTx is the algorithm part of ABCI CheckTx.
+	checkTx(tx *wire.Tx) bool
+	// processBlock handles one committed block and calls done when state
+	// is fully updated (Hashchain may stall on batch recovery in between).
+	processBlock(b *wire.Block, done func())
+	// drain flushes any pending collector content (experiment shutdown).
+	drain()
+}
+
+// Server is one Setchain server: the replicated application installed on a
+// ledger node, plus the algorithm-specific pipeline.
+type Server struct {
+	id   wire.NodeID
+	n    int
+	opts Options
+	sim  *sim.Simulator
+	cpu  *sim.Resource
+	node *ledger.Node
+
+	suite    setcrypto.Suite
+	key      setcrypto.KeyPair
+	registry *setcrypto.Registry
+
+	// Setchain state (paper §2): the_set, history, epoch, proofs.
+	theSet    map[wire.ElementID]*wire.Element
+	history   []*Epoch
+	inHistory map[wire.ElementID]uint64
+	proofs    map[uint64]map[wire.NodeID]*wire.EpochProof
+
+	alg      algorithm
+	coll     *collector.Collector
+	store    *batchstore.Store
+	rec      *metrics.Recorder
+	behavior *Behavior
+
+	// Ordered block processing: FinalizeBlock enqueues; blocks are
+	// processed strictly in order, possibly asynchronously (CPU cost,
+	// batch recovery stalls).
+	blockQueue []*wire.Block
+	processing bool
+
+	// Stats.
+	addsAccepted uint64
+	addsRejected uint64
+	blocksSeen   uint64
+	epochsMade   uint64
+	proofsMade   uint64
+}
+
+// NewServer creates a Setchain server on a ledger node. The server installs
+// itself as the node's ABCI application and app-message handler.
+func NewServer(node *ledger.Node, s *sim.Simulator, n int, suite setcrypto.Suite,
+	key setcrypto.KeyPair, registry *setcrypto.Registry, opts Options) *Server {
+	opts = opts.withDefaults(n)
+	srv := &Server{
+		id:        node.ID,
+		n:         n,
+		opts:      opts,
+		sim:       s,
+		cpu:       s.NewResource(fmt.Sprintf("setchain-cpu-%d", node.ID)),
+		node:      node,
+		suite:     suite,
+		key:       key,
+		registry:  registry,
+		theSet:    make(map[wire.ElementID]*wire.Element),
+		inHistory: make(map[wire.ElementID]uint64),
+		proofs:    make(map[uint64]map[wire.NodeID]*wire.EpochProof),
+	}
+	switch opts.Algorithm {
+	case Vanilla:
+		srv.alg = &vanillaAlg{s: srv}
+	case Compresschain:
+		srv.alg = newCompressAlg(srv)
+	case Hashchain:
+		srv.alg = newHashchainAlg(srv)
+	default:
+		panic("core: unknown algorithm")
+	}
+	node.SetAppMsgHandler(srv.onAppMsg)
+	return srv
+}
+
+// SetRecorder attaches experiment metrics.
+func (s *Server) SetRecorder(r *metrics.Recorder) { s.rec = r }
+
+// SetBehavior installs Byzantine behavior (nil = correct).
+func (s *Server) SetBehavior(b *Behavior) { s.behavior = b }
+
+// ID returns the server's node id.
+func (s *Server) ID() wire.NodeID { return s.id }
+
+// F returns the Setchain fault bound in effect.
+func (s *Server) F() int { return s.opts.F }
+
+// CPU exposes the server's simulated CPU resource (diagnostics).
+func (s *Server) CPU() *sim.Resource { return s.cpu }
+
+// Store exposes the Hashchain batch store (nil for other algorithms).
+func (s *Server) Store() *batchstore.Store { return s.store }
+
+// Add implements S.add_v(e): validate, insert into the_set, and hand the
+// element to the algorithm pipeline (direct append for Vanilla, collector
+// for Compresschain/Hashchain).
+func (s *Server) Add(e *wire.Element) error {
+	if !s.validElement(e) {
+		s.addsRejected++
+		return ErrInvalidElement
+	}
+	if _, dup := s.theSet[e.ID]; dup {
+		s.addsRejected++
+		return ErrDuplicate
+	}
+	s.theSet[e.ID] = e
+	s.addsAccepted++
+	addCost := s.opts.Costs.VerifyElement + s.opts.Costs.PerElement
+	if s.opts.Light {
+		// The Light ablations remove element validation entirely.
+		addCost = s.opts.Costs.PerElement
+	}
+	s.chargeCPU(addCost)
+	s.alg.onAdd(e)
+	return nil
+}
+
+// Get implements S.get_v(): the current (the_set, history, epoch, proofs).
+func (s *Server) Get() Snapshot {
+	return Snapshot{
+		Server:  s.id,
+		TheSet:  s.theSet,
+		History: s.history,
+		Epoch:   uint64(len(s.history)),
+		Proofs:  s.proofs,
+	}
+}
+
+// Drain flushes pending collector content so in-flight elements reach the
+// ledger after clients stop adding (experiment shutdown).
+func (s *Server) Drain() { s.alg.drain() }
+
+// --- ABCI ---
+
+// CheckTx validates transactions at mempool admission on every node.
+func (s *Server) CheckTx(tx *wire.Tx) bool {
+	switch tx.Kind {
+	case wire.TxElement:
+		if s.opts.Algorithm != Vanilla {
+			return false
+		}
+		s.chargeCPU(s.opts.Costs.VerifyElement)
+		return s.validElement(tx.Element)
+	case wire.TxProof:
+		if s.opts.Algorithm != Vanilla {
+			return false
+		}
+		// Deep validation needs history[j] and happens in FinalizeBlock;
+		// here we check shape only.
+		s.chargeCPU(s.opts.Costs.VerifySig)
+		return tx.Proof != nil && tx.Proof.Epoch >= 1 && len(tx.Proof.Sig) > 0
+	case wire.TxCompressedBatch:
+		if s.opts.Algorithm != Compresschain {
+			return false
+		}
+		return tx.Compressed != nil && tx.Compressed.CompSize > 0
+	case wire.TxHashBatch:
+		if s.opts.Algorithm != Hashchain {
+			return false
+		}
+		return s.alg.checkTx(tx)
+	default:
+		return false
+	}
+}
+
+// FinalizeBlock receives committed blocks in ledger order and feeds the
+// ordered processing queue.
+func (s *Server) FinalizeBlock(b *wire.Block) {
+	s.blocksSeen++
+	if s.rec != nil {
+		s.rec.BlockCommitted(s.id, b)
+	}
+	s.blockQueue = append(s.blockQueue, b)
+	if !s.processing {
+		s.processNext()
+	}
+}
+
+func (s *Server) processNext() {
+	if len(s.blockQueue) == 0 {
+		s.processing = false
+		return
+	}
+	s.processing = true
+	b := s.blockQueue[0]
+	s.blockQueue = s.blockQueue[1:]
+	s.alg.processBlock(b, s.processNext)
+}
+
+func (s *Server) onAppMsg(from wire.NodeID, payload any, size int) {
+	if h, ok := s.alg.(*hashchainAlg); ok {
+		h.onAppMsg(from, payload, size)
+	}
+}
+
+// --- shared machinery ---
+
+// chargeCPU books fire-and-forget occupancy on the server's CPU, delaying
+// later cost-gated work.
+func (s *Server) chargeCPU(d time.Duration) {
+	if d > 0 {
+		s.cpu.Submit(d, nil)
+	}
+}
+
+// runCosted executes fn after the given CPU cost clears the server's queue.
+// Zero cost still round-trips through the resource to preserve FIFO order
+// with earlier costed work.
+func (s *Server) runCosted(d time.Duration, fn func()) {
+	s.cpu.Submit(d, fn)
+}
+
+// validElement is the paper's valid_element(e): clients sign elements, and
+// only authenticated valid elements are processed by correct servers.
+func (s *Server) validElement(e *wire.Element) bool {
+	if e == nil || e.Size <= 0 {
+		return false
+	}
+	if s.opts.Mode == Full {
+		pub := s.registry.Lookup(int(e.Client) + clientKeyOffset(s.n))
+		if pub == nil {
+			return false
+		}
+		return s.suite.Verify(pub, e.SigningBytes(), e.Sig)
+	}
+	return !e.Bogus
+}
+
+// clientKeyOffset maps client ids into the PKI registry's id space, after
+// the n server ids.
+func clientKeyOffset(n int) int { return n }
+
+// epochHashFor computes the canonical epoch hash Hash(i, history[i]).
+func (s *Server) epochHashFor(number uint64, elems []*wire.Element) []byte {
+	return s.suite.HashData(wire.EpochHashInput(number, elems))
+}
+
+// createEpoch appends a new epoch built from the valid fresh elements in G
+// (already deduplicated against history by the caller) and returns its
+// epoch-proof, signed by this server. Elements keep their given order.
+func (s *Server) createEpoch(g []*wire.Element) *wire.EpochProof {
+	number := uint64(len(s.history)) + 1
+	hash := s.epochHashFor(number, g)
+	ep := &Epoch{Number: number, Elements: g, Hash: hash}
+	s.history = append(s.history, ep)
+	for _, e := range g {
+		s.inHistory[e.ID] = number
+		// Get-Global/Consistent-Sets: epoch elements enter the_set even if
+		// this server never saw their add.
+		if _, ok := s.theSet[e.ID]; !ok {
+			s.theSet[e.ID] = e
+		}
+	}
+	s.epochsMade++
+	if s.rec != nil {
+		s.rec.EpochCreated(s.id, number, g)
+	}
+	signHash := hash
+	if s.behavior != nil && s.behavior.CorruptProofs {
+		signHash = s.suite.HashData([]byte("corrupt"), hash)
+	}
+	p := &wire.EpochProof{
+		Epoch:     number,
+		EpochHash: signHash,
+		Sig:       s.suite.Sign(s.key, signHash),
+		Signer:    s.id,
+	}
+	s.proofsMade++
+	s.chargeCPU(s.opts.Costs.SignCost + time.Duration(len(g))*s.opts.Costs.PerElement)
+	return p
+}
+
+// acceptProof implements valid_proof(j, p, w, history[j]) and records the
+// proof. Returns whether the proof was valid and new.
+func (s *Server) acceptProof(p *wire.EpochProof) bool {
+	if p == nil || p.Epoch < 1 || p.Epoch > uint64(len(s.history)) {
+		return false
+	}
+	want := s.history[p.Epoch-1].Hash
+	s.chargeCPU(s.opts.Costs.VerifySig)
+	if !wire.VerifyEpochProof(s.suite, s.registry, p, want) {
+		return false
+	}
+	bySigner := s.proofs[p.Epoch]
+	if bySigner == nil {
+		bySigner = make(map[wire.NodeID]*wire.EpochProof)
+		s.proofs[p.Epoch] = bySigner
+	}
+	if _, dup := bySigner[p.Signer]; dup {
+		return false
+	}
+	bySigner[p.Signer] = p
+	if s.rec != nil {
+		s.rec.ProofOnLedger(s.id, p.Epoch, p.Signer)
+	}
+	return true
+}
+
+// freshValid filters a batch's elements to the valid ones not yet in
+// history, preserving order — the G extraction shared by all algorithms.
+func (s *Server) freshValid(elems []*wire.Element) []*wire.Element {
+	var g []*wire.Element
+	for _, e := range elems {
+		if !s.validElement(e) {
+			continue
+		}
+		if _, in := s.inHistory[e.ID]; in {
+			continue
+		}
+		g = append(g, e)
+	}
+	return g
+}
+
+// injectBogus appends Byzantine junk elements to a batch when configured.
+func (s *Server) injectBogus(b *wire.Batch) {
+	if s.behavior == nil || s.behavior.InjectBogusElements == 0 {
+		return
+	}
+	for i := 0; i < s.behavior.InjectBogusElements; i++ {
+		e := &wire.Element{Client: wire.ClientID(-1), Size: 438, Bogus: true}
+		e.ID[0] = 0xBB
+		e.ID[1] = byte(s.id)
+		e.ID[2] = byte(s.epochsMade)
+		e.ID[3] = byte(i)
+		e.ID[4] = byte(s.blocksSeen)
+		b.Elements = append(b.Elements, e)
+	}
+}
+
+// Stats returns server counters.
+func (s *Server) Stats() (adds, rejects, blocks, epochs uint64) {
+	return s.addsAccepted, s.addsRejected, s.blocksSeen, s.epochsMade
+}

@@ -1,0 +1,212 @@
+// Package harness runs the paper's evaluation scenarios (§4, Table 1) on
+// the virtual-time simulator and extracts the measurements behind every
+// table and figure: throughput-over-time curves (Fig. 1), the limit study
+// (Fig. 2 left), efficiency bars (Fig. 3), latency CDFs (Fig. 4), the
+// Table 2 averages and the Appendix F commit-time charts (Fig. 5).
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AlgSpec names an algorithm variant as the paper's legends do.
+type AlgSpec struct {
+	Alg       core.Algorithm
+	Collector int // collector size c; ignored by Vanilla
+	Light     bool
+}
+
+// Label renders the paper's legend label ("Hashchain c=500", "Vanilla",
+// "Compresschain Light c=500").
+func (a AlgSpec) Label() string {
+	s := a.Alg.String()
+	if a.Light {
+		s += " Light"
+	}
+	if a.Alg != core.Vanilla {
+		s += fmt.Sprintf(" c=%d", a.Collector)
+	}
+	return s
+}
+
+// The evaluation's standard variants.
+var (
+	SpecVanilla     = AlgSpec{Alg: core.Vanilla}
+	SpecCompress100 = AlgSpec{Alg: core.Compresschain, Collector: 100}
+	SpecCompress500 = AlgSpec{Alg: core.Compresschain, Collector: 500}
+	SpecHash100     = AlgSpec{Alg: core.Hashchain, Collector: 100}
+	SpecHash500     = AlgSpec{Alg: core.Hashchain, Collector: 500}
+)
+
+// AnalyticalThroughput returns the Appendix D model value for this variant
+// with n servers (the dotted reference lines in Figs. 1-2).
+func (a AlgSpec) AnalyticalThroughput(n int) float64 {
+	p := analysis.PaperParams()
+	p.N = n
+	p.CollectorSize = a.Collector
+	switch a.Alg {
+	case core.Vanilla:
+		return analysis.VanillaThroughput(p)
+	case core.Compresschain:
+		return analysis.CompresschainThroughput(p)
+	default:
+		return analysis.HashchainThroughput(p)
+	}
+}
+
+// Scenario is one experiment cell: an algorithm variant under a workload
+// and deployment configuration (one combination from Table 1).
+type Scenario struct {
+	Name         string
+	Spec         AlgSpec
+	Servers      int           // server_count: 4, 7, 10
+	Rate         float64       // sending_rate in el/s (aggregate)
+	SendFor      time.Duration // how long clients add (paper: 50 s)
+	Horizon      time.Duration // total virtual time simulated
+	NetworkDelay time.Duration // network_delay: 0, 30, 100 ms
+	Seed         int64
+	Level        metrics.Level
+	// Scale multiplies Rate and SendFor (and leaves ceilings untouched);
+	// used to shrink the largest runs for quick regression passes. 0 = 1.
+	Scale float64
+}
+
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Servers == 0 {
+		sc.Servers = 10
+	}
+	if sc.SendFor == 0 {
+		sc.SendFor = 50 * time.Second
+	}
+	if sc.Horizon == 0 {
+		sc.Horizon = sc.SendFor + 100*time.Second
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	if sc.Scale == 0 {
+		sc.Scale = 1
+	}
+	sc.Rate *= sc.Scale
+	sc.SendFor = time.Duration(float64(sc.SendFor) * sc.Scale)
+	if sc.Name == "" {
+		sc.Name = fmt.Sprintf("%s n=%d rate=%.0f delay=%v",
+			sc.Spec.Label(), sc.Servers, sc.Rate, sc.NetworkDelay)
+	}
+	return sc
+}
+
+// Result holds a completed scenario's measurements.
+type Result struct {
+	Scenario  Scenario
+	Injected  uint64
+	Committed uint64
+	// Efficiency at the paper's three checkpoints (relative to SendFor:
+	// the checkpoints scale with a scaled send window).
+	Eff50, Eff75, Eff100 float64
+	// AvgTput is Table 2's metric: committed/second up to end-of-sending.
+	AvgTput float64
+	// Series is the committed-rate rolling average (9 s window).
+	Series []metrics.SeriesPoint
+	// CommitFrac maps percent (0 = first element, 10..50) to the time that
+	// fraction of all added elements had committed; missing = never.
+	CommitFrac map[int]time.Duration
+	// Analytical is the Appendix D model value for the variant.
+	Analytical float64
+	// Recorder allows stage-latency queries when Level = LevelStages.
+	Recorder *metrics.Recorder
+	// Blocks is the ledger height reached; Events the simulator events.
+	Blocks int
+	Events uint64
+}
+
+// Run executes one scenario to its horizon and gathers measurements.
+func Run(sc Scenario) *Result {
+	// Large scenarios allocate multi-GB transient state (per-server
+	// the_set over millions of elements); reclaim the previous run's
+	// before building the next deployment.
+	runtime.GC()
+	sc = sc.withDefaults()
+	s := sim.New(sc.Seed)
+	n := sc.Servers
+	f := (n - 1) / 2
+	rec := metrics.New(s, sc.Level, n, f, 0)
+
+	netCfg := netsim.DefaultLANConfig()
+	netCfg.ExtraDelay = sc.NetworkDelay
+	opts := core.Options{
+		Algorithm:      sc.Spec.Alg,
+		Mode:           core.Modeled,
+		Light:          sc.Spec.Light,
+		CollectorLimit: sc.Spec.Collector,
+		Costs:          core.PaperCostModel(),
+		F:              f,
+	}
+	d := core.Deploy(s, n, ledger.Config{
+		Net:       netCfg,
+		Consensus: consensus.PaperParams(),
+		Mempool:   mempool.PaperConfig(),
+	}, opts, rec)
+
+	gen := workload.New(d, rec, workload.Config{
+		Rate:     sc.Rate,
+		Duration: sc.SendFor,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(sc.Horizon)
+	d.Stop()
+
+	res := &Result{
+		Scenario:   sc,
+		Injected:   rec.TotalInjected(),
+		Committed:  rec.TotalCommitted(),
+		Eff50:      rec.Efficiency(sc.SendFor),
+		Eff75:      rec.Efficiency(sc.SendFor * 3 / 2),
+		Eff100:     rec.Efficiency(sc.SendFor * 2),
+		AvgTput:    rec.AvgThroughputUpTo(sc.SendFor),
+		Series:     rec.ThroughputSeries(9 * time.Second),
+		CommitFrac: make(map[int]time.Duration),
+		Analytical: sc.Spec.AnalyticalThroughput(n),
+		Blocks:     len(d.Ledger.Nodes[0].Cons.Chain()),
+		Events:     s.Executed(),
+		Recorder:   rec,
+	}
+	fracs := map[int]float64{0: 0, 10: 0.10, 20: 0.20, 30: 0.30, 40: 0.40, 50: 0.50}
+	for pct, frac := range fracs {
+		if t, ok := rec.CommitTimeAtFraction(frac); ok {
+			res.CommitFrac[pct] = t
+		}
+	}
+	return res
+}
+
+// ParameterGrid reproduces Table 1: the evaluation's parameter space.
+type ParameterGrid struct {
+	SendingRates  []float64
+	Collectors    []int
+	ServerCounts  []int
+	NetworkDelays []time.Duration
+}
+
+// PaperGrid returns Table 1's values.
+func PaperGrid() ParameterGrid {
+	return ParameterGrid{
+		SendingRates:  []float64{10000, 5000, 1000, 500},
+		Collectors:    []int{100, 500},
+		ServerCounts:  []int{4, 7, 10},
+		NetworkDelays: []time.Duration{0, 30 * time.Millisecond, 100 * time.Millisecond},
+	}
+}

@@ -1,0 +1,224 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Fig1Panel describes one panel of Fig. 1 (throughput over time).
+type Fig1Panel struct {
+	Name      string
+	Rate      float64
+	Collector int
+	Specs     []AlgSpec
+	Horizon   time.Duration
+}
+
+// Fig1Panels returns the three panels of Fig. 1: (left) 5,000 el/s with
+// c=100 and all three algorithms; (center) 10,000 el/s with c=100,
+// Compresschain vs Hashchain; (right) 10,000 el/s with c=500.
+func Fig1Panels() []Fig1Panel {
+	return []Fig1Panel{
+		{
+			Name: "left", Rate: 5000, Collector: 100,
+			Specs: []AlgSpec{
+				SpecVanilla,
+				{Alg: core.Compresschain, Collector: 100},
+				{Alg: core.Hashchain, Collector: 100},
+			},
+			Horizon: 350 * time.Second,
+		},
+		{
+			Name: "center", Rate: 10000, Collector: 100,
+			Specs: []AlgSpec{
+				{Alg: core.Compresschain, Collector: 100},
+				{Alg: core.Hashchain, Collector: 100},
+			},
+			Horizon: 350 * time.Second,
+		},
+		{
+			Name: "right", Rate: 10000, Collector: 500,
+			Specs: []AlgSpec{
+				{Alg: core.Compresschain, Collector: 500},
+				{Alg: core.Hashchain, Collector: 500},
+			},
+			Horizon: 250 * time.Second,
+		},
+	}
+}
+
+// RunFig1Panel runs every algorithm of one panel (10 servers, no extra
+// delay) and returns the results in spec order. scale shrinks the run for
+// quick passes (1 = paper scale).
+func RunFig1Panel(p Fig1Panel, scale float64) []*Result {
+	var out []*Result
+	for _, spec := range p.Specs {
+		out = append(out, Run(Scenario{
+			Spec:    spec,
+			Rate:    p.Rate,
+			Horizon: time.Duration(float64(p.Horizon) * scaleOr1(scale)),
+			Scale:   scale,
+		}))
+	}
+	return out
+}
+
+func scaleOr1(s float64) float64 {
+	if s == 0 {
+		return 1
+	}
+	return s
+}
+
+// LimitResult is one curve of Fig. 2 (left): pushing an algorithm to its
+// implementation limit.
+type LimitResult struct {
+	Label  string
+	Result *Result
+}
+
+// RunLimitStudy reproduces Fig. 2 (left): the highest throughput each
+// variant sustains with collector size 500 on 10 servers. The paper sends
+// 25,000 el/s at Hashchain with hash-reversal (bottlenecked near 20k el/s
+// by per-element validation) and 150,000 el/s at Hashchain Light (reaching
+// ~134k el/s), and compares Compresschain with and without
+// decompression+validation plus Vanilla.
+func RunLimitStudy(scale float64) []LimitResult {
+	scale = scaleOr1(scale)
+	mk := func(label string, spec AlgSpec, rate float64) LimitResult {
+		return LimitResult{Label: label, Result: Run(Scenario{
+			Spec:    spec,
+			Rate:    rate,
+			Horizon: time.Duration(90 * float64(time.Second) * scale),
+			Scale:   scale,
+		})}
+	}
+	return []LimitResult{
+		mk("Hashchain c=500 (hash-reversal on)", SpecHash500, 25000),
+		mk("Hashchain Light c=500 (no hash-reversal)",
+			AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true}, 150000),
+		mk("Compresschain c=500", SpecCompress500, 25000),
+		mk("Compresschain Light c=500",
+			AlgSpec{Alg: core.Compresschain, Collector: 500, Light: true}, 25000),
+		mk("Vanilla", SpecVanilla, 5000),
+	}
+}
+
+// EfficiencyCell is one bar group of Fig. 3: a variant's efficiency at the
+// three checkpoints.
+type EfficiencyCell struct {
+	Spec   AlgSpec
+	Param  string // the varied parameter's value, rendered
+	Result *Result
+}
+
+// EfficiencySpecs is the variant set of Fig. 3's legends.
+func EfficiencySpecs() []AlgSpec {
+	return []AlgSpec{SpecVanilla, SpecCompress100, SpecCompress500, SpecHash100, SpecHash500}
+}
+
+// RunEfficiencyVsRate reproduces Fig. 3a: efficiency for sending rates
+// 500/1000/5000/10000 el/s (10 servers, no delay).
+func RunEfficiencyVsRate(scale float64) []EfficiencyCell {
+	var out []EfficiencyCell
+	for _, rate := range []float64{500, 1000, 5000, 10000} {
+		for _, spec := range EfficiencySpecs() {
+			res := Run(Scenario{Spec: spec, Rate: rate, Scale: scale})
+			out = append(out, EfficiencyCell{Spec: spec, Param: fmt.Sprintf("%.0f el/s", rate), Result: res})
+		}
+	}
+	return out
+}
+
+// RunEfficiencyVsServers reproduces Fig. 3b: efficiency for 4/7/10 servers
+// (10,000 el/s, no delay).
+func RunEfficiencyVsServers(scale float64) []EfficiencyCell {
+	var out []EfficiencyCell
+	for _, n := range []int{4, 7, 10} {
+		for _, spec := range EfficiencySpecs() {
+			res := Run(Scenario{Spec: spec, Rate: 10000, Servers: n, Scale: scale})
+			out = append(out, EfficiencyCell{Spec: spec, Param: fmt.Sprintf("%d servers", n), Result: res})
+		}
+	}
+	return out
+}
+
+// RunEfficiencyVsDelay reproduces Fig. 3c: efficiency for network delays
+// 0/30/100 ms (10 servers, 10,000 el/s).
+func RunEfficiencyVsDelay(scale float64) []EfficiencyCell {
+	var out []EfficiencyCell
+	for _, delay := range []time.Duration{0, 30 * time.Millisecond, 100 * time.Millisecond} {
+		for _, spec := range EfficiencySpecs() {
+			res := Run(Scenario{Spec: spec, Rate: 10000, NetworkDelay: delay, Scale: scale})
+			out = append(out, EfficiencyCell{Spec: spec, Param: delay.String(), Result: res})
+		}
+	}
+	return out
+}
+
+// LatencyCurves holds Fig. 4's five CDFs for one algorithm.
+type LatencyCurves struct {
+	Spec   AlgSpec
+	Stages map[metrics.Stage][]time.Duration // sorted latencies
+	Reach  map[metrics.Stage]float64         // CDF terminal value
+	Result *Result
+}
+
+// RunLatencyStudy reproduces Fig. 4: stage latency CDFs for the three
+// algorithms with collector size 100, 10 servers, 1,250 el/s, no delay.
+func RunLatencyStudy(scale float64) []LatencyCurves {
+	specs := []AlgSpec{
+		SpecVanilla,
+		{Alg: core.Compresschain, Collector: 100},
+		{Alg: core.Hashchain, Collector: 100},
+	}
+	var out []LatencyCurves
+	for _, spec := range specs {
+		res := Run(Scenario{
+			Spec:  spec,
+			Rate:  1250,
+			Level: metrics.LevelStages,
+			Scale: scale,
+		})
+		lc := LatencyCurves{
+			Spec:   spec,
+			Stages: make(map[metrics.Stage][]time.Duration),
+			Reach:  make(map[metrics.Stage]float64),
+			Result: res,
+		}
+		for st := metrics.StageFirstMempool; st <= metrics.StageCommitted; st++ {
+			lats, frac := res.Recorder.LatencyCDF(st)
+			lc.Stages[st] = lats
+			lc.Reach[st] = frac
+		}
+		out = append(out, lc)
+	}
+	return out
+}
+
+// CommitTimeStudy reproduces Fig. 5 (Appendix F): commit times of the
+// first element and the 10..50% fractions, across the same grids as
+// Fig. 3. The dimension selects a/b/c.
+type CommitTimeStudyDim int
+
+// Fig. 5 sub-figures.
+const (
+	CommitVsRate CommitTimeStudyDim = iota
+	CommitVsServers
+	CommitVsDelay
+)
+
+// RunCommitTimeStudy runs the selected Fig. 5 grid.
+func RunCommitTimeStudy(dim CommitTimeStudyDim, scale float64) []EfficiencyCell {
+	switch dim {
+	case CommitVsRate:
+		return RunEfficiencyVsRate(scale)
+	case CommitVsServers:
+		return RunEfficiencyVsServers(scale)
+	default:
+		return RunEfficiencyVsDelay(scale)
+	}
+}

@@ -1,0 +1,206 @@
+// Package ledger assembles the block-based ledger abstraction the Setchain
+// algorithms are built on (paper §2): per-server nodes combining a gossip
+// mempool and a Tendermint-style consensus engine behind two endpoints —
+// Append(tx) to submit a transaction and ABCI FinalizeBlock notifications
+// when blocks commit. It provides the paper's ledger properties:
+//
+//   - Property 9 (Ledger-Add-Eventual-Notify): a valid transaction appended
+//     by a correct server is eventually committed at a fixed position and
+//     every correct server is notified;
+//   - Property 10 (Ledger-Consistent-Notification): all correct servers see
+//     the same blocks in the same order;
+//   - Property 11 (Notification-Implies-Append): committed transactions
+//     were appended by some server.
+package ledger
+
+import (
+	"fmt"
+
+	"repro/internal/abci"
+	"repro/internal/consensus"
+	"repro/internal/mempool"
+	"repro/internal/netsim"
+	"repro/internal/setcrypto"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// AppMsgHandler receives non-ledger messages addressed to a node (the
+// Setchain layer's batch request/response traffic shares the same fabric).
+type AppMsgHandler func(from wire.NodeID, payload any, size int)
+
+// Node is one server's ledger stack: mempool + consensus + application.
+type Node struct {
+	ID   wire.NodeID
+	Pool *mempool.Mempool
+	Cons *consensus.Node
+
+	net    *netsim.Network
+	appMsg AppMsgHandler
+}
+
+// Append submits a transaction to this node's ledger (the paper's
+// L.append / CometBFT BroadcastTxAsync). Returns whether the local mempool
+// admitted it; gossip then replicates it and consensus eventually packs it
+// into a block.
+func (n *Node) Append(tx *wire.Tx) bool {
+	return n.Pool.AddTx(tx)
+}
+
+// SetAppMsgHandler routes non-consensus network payloads (anything that is
+// not mempool gossip or a consensus message) to the application layer.
+func (n *Node) SetAppMsgHandler(h AppMsgHandler) { n.appMsg = h }
+
+// Send transmits an application-level message to a peer over the same
+// simulated fabric the ledger uses.
+func (n *Node) Send(to wire.NodeID, payload any, size int) {
+	n.net.Send(n.ID, to, payload, size)
+}
+
+func (n *Node) receive(from wire.NodeID, payload any, size int) {
+	switch msg := payload.(type) {
+	case *mempool.GossipMsg:
+		n.Pool.ReceiveGossip(msg)
+	case *consensus.Proposal, *consensus.Vote, *consensus.BlockRequest, *consensus.BlockResponse:
+		n.Cons.Receive(from, payload)
+	default:
+		if n.appMsg != nil {
+			n.appMsg(from, payload, size)
+		}
+	}
+}
+
+// Config describes a ledger cluster.
+type Config struct {
+	// N is the number of servers (validators).
+	N int
+	// Net configures the simulated network.
+	Net netsim.Config
+	// Consensus holds the engine parameters (block size, block interval).
+	Consensus consensus.Params
+	// Mempool holds pool limits and gossip cadence.
+	Mempool mempool.Config
+	// Suite selects real or fast crypto. Nil defaults to FastSuite.
+	Suite setcrypto.Suite
+	// OnTxEnterMempool observes transactions entering each node's pool.
+	OnTxEnterMempool mempool.EnterFunc
+}
+
+// Cluster is a full n-node ledger deployment on one simulator.
+type Cluster struct {
+	Sim      *sim.Simulator
+	Net      *netsim.Network
+	Nodes    []*Node
+	Suite    setcrypto.Suite
+	Registry *setcrypto.Registry
+	Keys     []setcrypto.KeyPair
+}
+
+// NewCluster builds the network, PKI, mempools and consensus nodes. The
+// application for each node defaults to a no-op; install real apps with
+// SetApp before calling Start.
+func NewCluster(s *sim.Simulator, cfg Config) *Cluster {
+	if cfg.N <= 0 {
+		panic("ledger: cluster needs at least one node")
+	}
+	suite := cfg.Suite
+	if suite == nil {
+		suite = setcrypto.FastSuite{}
+	}
+	c := &Cluster{
+		Sim:      s,
+		Net:      netsim.New(s, cfg.Net),
+		Suite:    suite,
+		Registry: setcrypto.NewRegistry(),
+	}
+	validators := make([]wire.NodeID, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		validators[i] = wire.NodeID(i)
+		var kp setcrypto.KeyPair
+		if _, real := suite.(setcrypto.Ed25519Suite); real {
+			kp = setcrypto.GenerateKeyPair(s.Rand())
+		} else {
+			kp = setcrypto.FastKeyPair(i)
+		}
+		c.Keys = append(c.Keys, kp)
+		c.Registry.Register(i, kp.Public)
+	}
+	for i := 0; i < cfg.N; i++ {
+		id := validators[i]
+		peers := make([]wire.NodeID, 0, cfg.N-1)
+		for _, v := range validators {
+			if v != id {
+				peers = append(peers, v)
+			}
+		}
+		node := &Node{ID: id, net: c.Net}
+		node.Pool = mempool.New(id, s, c.Net, peers, cfg.Mempool, nil, cfg.OnTxEnterMempool)
+		node.Cons = consensus.NewNode(id, validators, s, c.Net, cfg.Consensus,
+			suite, c.Keys[i], c.Registry, node.Pool, abci.NopApplication{})
+		c.Nodes = append(c.Nodes, node)
+		c.Net.AddNode(id, node.receive)
+	}
+	return c
+}
+
+// SetApp installs the application (and its CheckTx) on one node. Must be
+// called before Start.
+func (c *Cluster) SetApp(id wire.NodeID, app abci.Application) {
+	node := c.Nodes[int(id)]
+	// Rebuild the consensus node with the real app; mempool gets the app's
+	// CheckTx as its admission filter.
+	peers := make([]wire.NodeID, 0, len(c.Nodes)-1)
+	validators := make([]wire.NodeID, 0, len(c.Nodes))
+	for _, n := range c.Nodes {
+		validators = append(validators, n.ID)
+		if n.ID != id {
+			peers = append(peers, n.ID)
+		}
+	}
+	_ = peers
+	node.Pool.SetCheck(app.CheckTx)
+	node.Cons = consensus.NewNode(id, validators, c.Sim, c.Net, node.Cons.Params(),
+		c.Suite, c.Keys[int(id)], c.Registry, node.Pool, app)
+}
+
+// Start launches consensus on every node.
+func (c *Cluster) Start() {
+	for _, n := range c.Nodes {
+		n.Cons.Start()
+	}
+}
+
+// Stop freezes all nodes.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Cons.Stop()
+	}
+}
+
+// VerifyConsistentChains checks Property 10 across all live nodes: every
+// pair of chains agrees on their common prefix. Returns an error describing
+// the first divergence found.
+func (c *Cluster) VerifyConsistentChains() error {
+	for i := 0; i < len(c.Nodes); i++ {
+		for j := i + 1; j < len(c.Nodes); j++ {
+			a, b := c.Nodes[i].Cons.Chain(), c.Nodes[j].Cons.Chain()
+			m := len(a)
+			if len(b) < m {
+				m = len(b)
+			}
+			for h := 0; h < m; h++ {
+				if len(a[h].Txs) != len(b[h].Txs) {
+					return fmt.Errorf("nodes %d/%d diverge at height %d: %d vs %d txs",
+						i, j, h+1, len(a[h].Txs), len(b[h].Txs))
+				}
+				for k := range a[h].Txs {
+					if a[h].Txs[k].Key() != b[h].Txs[k].Key() {
+						return fmt.Errorf("nodes %d/%d diverge at height %d tx %d",
+							i, j, h+1, k)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

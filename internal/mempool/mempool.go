@@ -1,0 +1,241 @@
+// Package mempool implements the CometBFT-style transaction pool: local
+// submission (BroadcastTxAsync in the paper's mapping), CheckTx validation,
+// deduplication, capacity limits (the paper raises CometBFT's default to
+// 10,000,000 transactions or 2 GB), gossip replication to peers, and
+// reaping for block proposals.
+package mempool
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Config sets pool limits and gossip behavior.
+type Config struct {
+	// MaxTxs caps the number of pooled transactions (paper: 10,000,000).
+	MaxTxs int
+	// MaxBytes caps pooled bytes (paper: 2 GB).
+	MaxBytes int
+	// GossipInterval batches first-seen transactions and forwards them to
+	// all peers once per interval, approximating CometBFT's continuous
+	// per-peer gossip without per-transaction message explosion.
+	GossipInterval time.Duration
+}
+
+// PaperConfig returns the evaluation's mempool settings.
+func PaperConfig() Config {
+	return Config{
+		MaxTxs:         10_000_000,
+		MaxBytes:       2 << 30,
+		GossipInterval: 10 * time.Millisecond,
+	}
+}
+
+// CheckFunc validates a transaction for admission (ABCI CheckTx).
+type CheckFunc func(tx *wire.Tx) bool
+
+// EnterFunc observes a transaction entering this node's pool; used by the
+// metrics layer to timestamp the paper's mempool latency stages.
+type EnterFunc func(node wire.NodeID, tx *wire.Tx)
+
+// GossipMsg is the network payload carrying batched transactions to peers.
+type GossipMsg struct {
+	Txs []*wire.Tx
+}
+
+// Mempool is one node's transaction pool.
+type Mempool struct {
+	id    wire.NodeID
+	sim   *sim.Simulator
+	net   *netsim.Network
+	cfg   Config
+	check CheckFunc
+	enter EnterFunc
+
+	txs   map[string]*wire.Tx
+	order []string            // admission order for reaping
+	seen  map[string]struct{} // pool ∪ committed: blocks re-admission
+	bytes int
+
+	pendingGossip []*wire.Tx
+	flushArmed    bool
+	peers         []wire.NodeID
+
+	// Stats.
+	admitted  uint64
+	rejected  uint64
+	dropped   uint64 // capacity drops
+	duplicate uint64
+}
+
+// New creates a mempool for a node. peers is the set of other nodes gossip
+// reaches. check may be nil (accept all); enter may be nil.
+func New(id wire.NodeID, s *sim.Simulator, net *netsim.Network, peers []wire.NodeID, cfg Config, check CheckFunc, enter EnterFunc) *Mempool {
+	if cfg.MaxTxs == 0 {
+		cfg.MaxTxs = PaperConfig().MaxTxs
+	}
+	if cfg.MaxBytes == 0 {
+		cfg.MaxBytes = PaperConfig().MaxBytes
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = PaperConfig().GossipInterval
+	}
+	return &Mempool{
+		id:    id,
+		sim:   s,
+		net:   net,
+		cfg:   cfg,
+		check: check,
+		enter: enter,
+		txs:   make(map[string]*wire.Tx),
+		seen:  make(map[string]struct{}),
+		peers: peers,
+	}
+}
+
+// SetCheck replaces the admission filter. Intended for wiring the
+// application's CheckTx after construction; not for use mid-run.
+func (m *Mempool) SetCheck(check CheckFunc) { m.check = check }
+
+// AddTx submits a transaction locally (the paper's BroadcastTxAsync path).
+// It validates, pools, and schedules gossip. Returns true if admitted.
+func (m *Mempool) AddTx(tx *wire.Tx) bool {
+	return m.add(tx, true)
+}
+
+// ReceiveGossip ingests transactions forwarded by a peer. First-seen valid
+// transactions are pooled and re-forwarded (flooding, as CometBFT's gossip
+// effectively achieves on a full mesh).
+func (m *Mempool) ReceiveGossip(msg *GossipMsg) {
+	for _, tx := range msg.Txs {
+		m.add(tx, true)
+	}
+}
+
+func (m *Mempool) add(tx *wire.Tx, gossip bool) bool {
+	key := tx.Key()
+	if _, ok := m.seen[key]; ok {
+		m.duplicate++
+		return false
+	}
+	if m.check != nil && !m.check(tx) {
+		m.rejected++
+		return false
+	}
+	if len(m.txs) >= m.cfg.MaxTxs || m.bytes+tx.WireSize() > m.cfg.MaxBytes {
+		m.dropped++
+		return false
+	}
+	m.seen[key] = struct{}{}
+	m.txs[key] = tx
+	m.order = append(m.order, key)
+	m.bytes += tx.WireSize()
+	m.admitted++
+	if m.enter != nil {
+		m.enter(m.id, tx)
+	}
+	if gossip && len(m.peers) > 0 {
+		m.pendingGossip = append(m.pendingGossip, tx)
+		m.armFlush()
+	}
+	return true
+}
+
+func (m *Mempool) armFlush() {
+	if m.flushArmed {
+		return
+	}
+	m.flushArmed = true
+	m.sim.After(m.cfg.GossipInterval, m.flush)
+}
+
+func (m *Mempool) flush() {
+	m.flushArmed = false
+	if len(m.pendingGossip) == 0 {
+		return
+	}
+	msg := &GossipMsg{Txs: m.pendingGossip}
+	size := 0
+	for _, tx := range msg.Txs {
+		size += tx.WireSize()
+	}
+	m.pendingGossip = nil
+	for _, p := range m.peers {
+		m.net.Send(m.id, p, msg, size)
+	}
+}
+
+// Reap returns pooled transactions in admission order up to maxBytes total,
+// without removing them (they leave the pool when their block commits).
+func (m *Mempool) Reap(maxBytes int) []*wire.Tx {
+	var out []*wire.Tx
+	total := 0
+	for _, key := range m.order {
+		tx, ok := m.txs[key]
+		if !ok {
+			continue
+		}
+		sz := tx.WireSize()
+		if total+sz > maxBytes {
+			// Txs are admitted in arbitrary size order; stop at the first
+			// overflow to keep reaping O(block size) and FIFO-fair.
+			break
+		}
+		out = append(out, tx)
+		total += sz
+	}
+	return out
+}
+
+// RemoveCommitted evicts transactions included in a committed block and
+// compacts the admission order lazily. The keys stay in seen, so committed
+// transactions can never re-enter this pool.
+func (m *Mempool) RemoveCommitted(txs []*wire.Tx) {
+	for _, tx := range txs {
+		key := tx.Key()
+		// A committed tx may have never reached this pool (e.g. it was
+		// proposed by another node before gossip arrived). Mark it seen so
+		// late gossip is dropped.
+		m.seen[key] = struct{}{}
+		if old, ok := m.txs[key]; ok {
+			m.bytes -= old.WireSize()
+			delete(m.txs, key)
+		}
+	}
+	m.compact()
+}
+
+func (m *Mempool) compact() {
+	// Rebuild order only when it is mostly tombstones to keep Reap cheap.
+	if len(m.order) < 64 || len(m.txs)*2 > len(m.order) {
+		return
+	}
+	live := m.order[:0]
+	for _, key := range m.order {
+		if _, ok := m.txs[key]; ok {
+			live = append(live, key)
+		}
+	}
+	m.order = live
+}
+
+// Size returns the number of pooled transactions.
+func (m *Mempool) Size() int { return len(m.txs) }
+
+// Bytes returns the pooled byte total.
+func (m *Mempool) Bytes() int { return m.bytes }
+
+// Has reports whether the pool currently holds the given tx key.
+func (m *Mempool) Has(key string) bool {
+	_, ok := m.txs[key]
+	return ok
+}
+
+// Stats returns counters (admitted, rejected by CheckTx, dropped by
+// capacity, duplicates ignored).
+func (m *Mempool) Stats() (admitted, rejected, dropped, duplicate uint64) {
+	return m.admitted, m.rejected, m.dropped, m.duplicate
+}

@@ -1,0 +1,321 @@
+package mempool
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func elemTx(i int, size int) *wire.Tx {
+	e := &wire.Element{Size: size}
+	e.ID[0] = byte(i)
+	e.ID[1] = byte(i >> 8)
+	e.ID[2] = byte(i >> 16)
+	return &wire.Tx{Kind: wire.TxElement, Element: e}
+}
+
+func newTestPools(t *testing.T, n int, cfg Config) (*sim.Simulator, []*Mempool) {
+	t.Helper()
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{BaseLatency: time.Millisecond})
+	pools := make([]*Mempool, n)
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	for i := 0; i < n; i++ {
+		id := wire.NodeID(i)
+		var peers []wire.NodeID
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		pools[i] = New(id, s, net, peers, cfg, nil, nil)
+	}
+	for i := 0; i < n; i++ {
+		i := i
+		net.AddNode(wire.NodeID(i), func(from wire.NodeID, payload any, size int) {
+			if msg, ok := payload.(*GossipMsg); ok {
+				pools[i].ReceiveGossip(msg)
+			}
+		})
+	}
+	return s, pools
+}
+
+func TestAddAndReap(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	s.After(0, func() {
+		for i := 0; i < 10; i++ {
+			if !p.AddTx(elemTx(i, 100)) {
+				t.Errorf("tx %d rejected", i)
+			}
+		}
+	})
+	s.Run()
+	if p.Size() != 10 || p.Bytes() != 1000 {
+		t.Fatalf("size=%d bytes=%d, want 10/1000", p.Size(), p.Bytes())
+	}
+	got := p.Reap(450)
+	if len(got) != 4 {
+		t.Fatalf("reaped %d txs within 450 bytes, want 4", len(got))
+	}
+	// Reap is FIFO.
+	for i, tx := range got {
+		if tx.Element.ID[0] != byte(i) {
+			t.Fatalf("reap not FIFO at %d", i)
+		}
+	}
+	// Reap does not remove.
+	if p.Size() != 10 {
+		t.Fatal("reap removed transactions")
+	}
+}
+
+func TestDuplicateRejected(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	s.After(0, func() {
+		tx := elemTx(1, 100)
+		if !p.AddTx(tx) {
+			t.Error("first add rejected")
+		}
+		if p.AddTx(tx) {
+			t.Error("duplicate admitted")
+		}
+	})
+	s.Run()
+	_, _, _, dup := p.Stats()
+	if dup != 1 {
+		t.Fatalf("duplicate count = %d, want 1", dup)
+	}
+}
+
+func TestCheckTxRejection(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{})
+	net.AddNode(0, nil)
+	p := New(0, s, net, nil, Config{}, func(tx *wire.Tx) bool {
+		return tx.Element.Size < 500 // "validity" rule
+	}, nil)
+	s.After(0, func() {
+		if !p.AddTx(elemTx(1, 100)) {
+			t.Error("valid tx rejected")
+		}
+		if p.AddTx(elemTx(2, 1000)) {
+			t.Error("invalid tx admitted")
+		}
+	})
+	s.Run()
+	_, rejected, _, _ := p.Stats()
+	if rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", rejected)
+	}
+}
+
+func TestCapacityLimits(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{MaxTxs: 3, MaxBytes: 1 << 20})
+	p := pools[0]
+	s.After(0, func() {
+		for i := 0; i < 5; i++ {
+			p.AddTx(elemTx(i, 10))
+		}
+	})
+	s.Run()
+	if p.Size() != 3 {
+		t.Fatalf("size = %d, want capped at 3", p.Size())
+	}
+	_, _, dropped, _ := p.Stats()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+}
+
+func TestByteCapacity(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{MaxTxs: 100, MaxBytes: 250})
+	p := pools[0]
+	s.After(0, func() {
+		for i := 0; i < 5; i++ {
+			p.AddTx(elemTx(i, 100))
+		}
+	})
+	s.Run()
+	if p.Size() != 2 {
+		t.Fatalf("size = %d, want 2 within 250 bytes", p.Size())
+	}
+}
+
+func TestGossipReplication(t *testing.T) {
+	s, pools := newTestPools(t, 4, Config{GossipInterval: 5 * time.Millisecond})
+	s.After(0, func() {
+		for i := 0; i < 20; i++ {
+			pools[0].AddTx(elemTx(i, 100))
+		}
+	})
+	s.Run()
+	for i, p := range pools {
+		if p.Size() != 20 {
+			t.Fatalf("pool %d has %d txs, want 20 after gossip", i, p.Size())
+		}
+	}
+}
+
+func TestGossipDoesNotLoopForever(t *testing.T) {
+	s, pools := newTestPools(t, 3, Config{GossipInterval: time.Millisecond})
+	s.After(0, func() { pools[0].AddTx(elemTx(1, 50)) })
+	s.Run() // termination itself is the assertion: re-gossip of known txs stops
+	for i, p := range pools {
+		if p.Size() != 1 {
+			t.Fatalf("pool %d size = %d, want 1", i, p.Size())
+		}
+	}
+}
+
+func TestRemoveCommittedBlocksReentry(t *testing.T) {
+	s, pools := newTestPools(t, 2, Config{GossipInterval: time.Millisecond})
+	tx := elemTx(7, 100)
+	s.After(0, func() { pools[0].AddTx(tx) })
+	s.RunUntil(time.Second)
+	if pools[1].Size() != 1 {
+		t.Fatal("gossip did not replicate")
+	}
+	pools[0].RemoveCommitted([]*wire.Tx{tx})
+	pools[1].RemoveCommitted([]*wire.Tx{tx})
+	if pools[0].Size() != 0 || pools[1].Size() != 0 {
+		t.Fatal("committed tx not removed")
+	}
+	// Late (re)gossip of the committed tx must not re-enter.
+	s.After(0, func() { pools[1].ReceiveGossip(&GossipMsg{Txs: []*wire.Tx{tx}}) })
+	s.Run()
+	if pools[1].Size() != 0 {
+		t.Fatal("committed tx re-entered pool")
+	}
+}
+
+func TestRemoveCommittedNeverSeen(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	tx := elemTx(9, 100)
+	p.RemoveCommitted([]*wire.Tx{tx}) // seen-marking path
+	s.After(0, func() {
+		if p.AddTx(tx) {
+			t.Error("committed-elsewhere tx admitted")
+		}
+	})
+	s.Run()
+}
+
+func TestReapRespectsRemoval(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	var txs []*wire.Tx
+	s.After(0, func() {
+		for i := 0; i < 10; i++ {
+			tx := elemTx(i, 100)
+			txs = append(txs, tx)
+			p.AddTx(tx)
+		}
+	})
+	s.Run()
+	p.RemoveCommitted(txs[:5])
+	got := p.Reap(1 << 20)
+	if len(got) != 5 {
+		t.Fatalf("reaped %d, want 5 after removal", len(got))
+	}
+	if got[0].Element.ID[0] != 5 {
+		t.Fatal("reap did not skip removed txs")
+	}
+}
+
+func TestCompactKeepsOrder(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	var txs []*wire.Tx
+	s.After(0, func() {
+		for i := 0; i < 200; i++ {
+			tx := elemTx(i, 10)
+			txs = append(txs, tx)
+			p.AddTx(tx)
+		}
+	})
+	s.Run()
+	p.RemoveCommitted(txs[:150]) // triggers compaction
+	got := p.Reap(1 << 20)
+	if len(got) != 50 {
+		t.Fatalf("reaped %d, want 50", len(got))
+	}
+	for i, tx := range got {
+		if want := byte(150 + i); tx.Element.ID[0] != want {
+			t.Fatalf("order broken after compact at %d", i)
+		}
+	}
+}
+
+func TestHas(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	tx := elemTx(1, 10)
+	s.After(0, func() { p.AddTx(tx) })
+	s.Run()
+	if !p.Has(tx.Key()) {
+		t.Fatal("Has = false for pooled tx")
+	}
+	if p.Has("nope") {
+		t.Fatal("Has = true for unknown key")
+	}
+}
+
+func TestGossipBatchesManyTxsIntoFewMessages(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{BaseLatency: time.Millisecond})
+	var delivered int
+	net.AddNode(0, nil)
+	net.AddNode(1, func(from wire.NodeID, payload any, size int) { delivered++ })
+	p := New(0, s, net, []wire.NodeID{1}, Config{GossipInterval: 10 * time.Millisecond}, nil, nil)
+	s.After(0, func() {
+		for i := 0; i < 100; i++ {
+			p.AddTx(elemTx(i, 10))
+		}
+	})
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("gossip messages = %d, want 1 (batched)", delivered)
+	}
+}
+
+func TestEnterHookFires(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{})
+	net.AddNode(0, nil)
+	var entered []string
+	p := New(0, s, net, nil, Config{}, nil, func(node wire.NodeID, tx *wire.Tx) {
+		entered = append(entered, fmt.Sprintf("%d:%s", node, tx.Key()))
+	})
+	s.After(0, func() { p.AddTx(elemTx(1, 10)) })
+	s.Run()
+	if len(entered) != 1 {
+		t.Fatalf("enter hook fired %d times, want 1", len(entered))
+	}
+}
+
+func BenchmarkAddReapRemove(b *testing.B) {
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{})
+	net.AddNode(0, nil)
+	p := New(0, s, net, nil, Config{}, nil, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tx := elemTx(i, 438)
+		p.AddTx(tx)
+		if i%1000 == 999 {
+			batch := p.Reap(1 << 20)
+			p.RemoveCommitted(batch)
+		}
+	}
+}

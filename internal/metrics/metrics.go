@@ -1,0 +1,401 @@
+// Package metrics instruments a Setchain experiment with the measurements
+// the paper reports: throughput over time (rolling averages of committed
+// elements), efficiency (committed/added at 50/75/100 s), commit-time
+// percentiles (first element, 10%..50%), and the five-stage latency CDFs of
+// Fig. 4 (first mempool, f+1 mempools, all mempools, ledger, f+1
+// epoch-proofs).
+//
+// Two levels are supported: LevelThroughput keeps only counters and time
+// buckets (cheap enough for multi-million-element runs), while LevelStages
+// additionally tracks per-element stage timestamps for latency CDFs.
+package metrics
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Level selects the tracking granularity.
+type Level int
+
+// Tracking levels.
+const (
+	// LevelThroughput records injected/committed counts in time buckets.
+	LevelThroughput Level = iota
+	// LevelStages additionally tracks per-element latency stages.
+	LevelStages
+)
+
+// Stage identifies one of the paper's five latency milestones.
+type Stage int
+
+// Latency stages in pipeline order (Fig. 4).
+const (
+	StageFirstMempool Stage = iota
+	StageQuorumMempools
+	StageAllMempools
+	StageLedger
+	StageCommitted
+	numStages
+)
+
+// String names the stage as in Fig. 4's legend.
+func (s Stage) String() string {
+	switch s {
+	case StageFirstMempool:
+		return "First mempool"
+	case StageQuorumMempools:
+		return "f+1 mempools"
+	case StageAllMempools:
+		return "All mempools"
+	case StageLedger:
+		return "Ledger"
+	case StageCommitted:
+		return "f+1 epoch-proofs"
+	default:
+		return "unknown"
+	}
+}
+
+const bucketWidth = time.Second
+
+// unset marks a stage timestamp that has not occurred.
+const unset = time.Duration(-1)
+
+type txStageRec struct {
+	elems   []wire.ElementID
+	count   int // number of element copies (modeled counting when ids untracked)
+	mempool map[wire.NodeID]bool
+	first   time.Duration
+	quorum  time.Duration
+	all     time.Duration
+	ledger  time.Duration
+}
+
+type elemRec struct {
+	injected  time.Duration
+	committed time.Duration
+}
+
+// Recorder accumulates measurements for one experiment run.
+type Recorder struct {
+	sim      *sim.Simulator
+	level    Level
+	n        int
+	f        int
+	observer wire.NodeID
+
+	injected  []uint64 // per-second buckets
+	committed []uint64
+	totalInj  uint64
+	totalComm uint64
+
+	epochElems   map[uint64]int
+	epochIDs     map[uint64][]wire.ElementID
+	proofSigners map[uint64]map[wire.NodeID]bool
+	epochDone    map[uint64]bool
+
+	txs   map[string]*txStageRec
+	elems map[wire.ElementID]*elemRec
+
+	lastCommit time.Duration
+}
+
+// New creates a recorder. n is the server count, f the Setchain fault bound
+// (commit requires f+1 epoch-proofs on the ledger); observer is the correct
+// server whose epoch/proof observations define global commit times.
+func New(s *sim.Simulator, level Level, n, f int, observer wire.NodeID) *Recorder {
+	return &Recorder{
+		sim:          s,
+		level:        level,
+		n:            n,
+		f:            f,
+		observer:     observer,
+		epochElems:   make(map[uint64]int),
+		epochIDs:     make(map[uint64][]wire.ElementID),
+		proofSigners: make(map[uint64]map[wire.NodeID]bool),
+		epochDone:    make(map[uint64]bool),
+		txs:          make(map[string]*txStageRec),
+		elems:        make(map[wire.ElementID]*elemRec),
+	}
+}
+
+func (r *Recorder) bucket(slice *[]uint64, t time.Duration) {
+	idx := int(t / bucketWidth)
+	for len(*slice) <= idx {
+		*slice = append(*slice, 0)
+	}
+	(*slice)[idx]++
+}
+
+// Injected records a client creating an element.
+func (r *Recorder) Injected(e *wire.Element) {
+	now := r.sim.Now()
+	r.totalInj++
+	r.bucket(&r.injected, now)
+	if r.level >= LevelStages {
+		r.elems[e.ID] = &elemRec{injected: now, committed: unset}
+	}
+}
+
+// RegisterCarrier associates a ledger transaction key with the elements it
+// carries (the element itself for Vanilla; the batch's elements for
+// Compresschain/Hashchain). The origin server calls this when it creates
+// the transaction. Stage timestamps recorded for the transaction then apply
+// to all carried elements.
+func (r *Recorder) RegisterCarrier(txKey string, elems []*wire.Element) {
+	if r.level < LevelStages {
+		return
+	}
+	rec := r.txs[txKey]
+	if rec == nil {
+		rec = &txStageRec{
+			mempool: make(map[wire.NodeID]bool),
+			first:   unset, quorum: unset, all: unset, ledger: unset,
+		}
+		r.txs[txKey] = rec
+	}
+	for _, e := range elems {
+		rec.elems = append(rec.elems, e.ID)
+	}
+	rec.count = len(rec.elems)
+}
+
+// TxEnteredMempool is wired to each node's mempool admission hook.
+func (r *Recorder) TxEnteredMempool(node wire.NodeID, tx *wire.Tx) {
+	if r.level < LevelStages {
+		return
+	}
+	rec := r.txs[tx.Key()]
+	if rec == nil {
+		return // not a carrier of tracked elements (e.g. proof tx)
+	}
+	if rec.mempool[node] {
+		return
+	}
+	rec.mempool[node] = true
+	now := r.sim.Now()
+	switch len(rec.mempool) {
+	case 1:
+		rec.first = now
+	case r.f + 1:
+		rec.quorum = now
+	}
+	if len(rec.mempool) == r.n {
+		rec.all = now
+	}
+}
+
+// BlockCommitted records ledger arrival for every carried element in the
+// block. Call it only for the observer node's commits.
+func (r *Recorder) BlockCommitted(node wire.NodeID, b *wire.Block) {
+	if node != r.observer || r.level < LevelStages {
+		return
+	}
+	now := r.sim.Now()
+	for _, tx := range b.Txs {
+		if rec := r.txs[tx.Key()]; rec != nil && rec.ledger == unset {
+			rec.ledger = now
+		}
+	}
+}
+
+// EpochCreated records the observer server assigning elements to an epoch.
+func (r *Recorder) EpochCreated(node wire.NodeID, epoch uint64, elems []*wire.Element) {
+	if node != r.observer {
+		return
+	}
+	r.epochElems[epoch] = len(elems)
+	if r.level >= LevelStages {
+		ids := make([]wire.ElementID, len(elems))
+		for i, e := range elems {
+			ids[i] = e.ID
+		}
+		r.epochIDs[epoch] = ids
+	}
+}
+
+// ProofOnLedger records the observer extracting a valid epoch-proof from a
+// committed block. When an epoch accumulates f+1 distinct signers its
+// elements become committed (the paper's commit definition).
+func (r *Recorder) ProofOnLedger(node wire.NodeID, epoch uint64, signer wire.NodeID) {
+	if node != r.observer || r.epochDone[epoch] {
+		return
+	}
+	signers := r.proofSigners[epoch]
+	if signers == nil {
+		signers = make(map[wire.NodeID]bool)
+		r.proofSigners[epoch] = signers
+	}
+	if signers[signer] {
+		return
+	}
+	signers[signer] = true
+	if len(signers) < r.f+1 {
+		return
+	}
+	r.epochDone[epoch] = true
+	now := r.sim.Now()
+	r.lastCommit = now
+	count := r.epochElems[epoch]
+	r.totalComm += uint64(count)
+	for i := 0; i < count; i++ {
+		r.bucket(&r.committed, now)
+	}
+	if r.level >= LevelStages {
+		for _, id := range r.epochIDs[epoch] {
+			if er := r.elems[id]; er != nil && er.committed == unset {
+				er.committed = now
+			}
+		}
+	}
+}
+
+// TotalInjected returns the number of elements clients created.
+func (r *Recorder) TotalInjected() uint64 { return r.totalInj }
+
+// TotalCommitted returns elements whose epoch has f+1 proofs on the ledger.
+func (r *Recorder) TotalCommitted() uint64 { return r.totalComm }
+
+// LastCommitTime returns when the most recent epoch commit happened.
+func (r *Recorder) LastCommitTime() time.Duration { return r.lastCommit }
+
+// CommittedBy returns how many elements were committed at or before t.
+func (r *Recorder) CommittedBy(t time.Duration) uint64 {
+	var sum uint64
+	limit := int(t / bucketWidth)
+	for i, c := range r.committed {
+		if i > limit {
+			break
+		}
+		sum += c
+	}
+	return sum
+}
+
+// Efficiency returns committed-by-t divided by total added (the paper's
+// efficiency metric, computed at 50/75/100 s).
+func (r *Recorder) Efficiency(t time.Duration) float64 {
+	if r.totalInj == 0 {
+		return 0
+	}
+	return float64(r.CommittedBy(t)) / float64(r.totalInj)
+}
+
+// AvgThroughputUpTo returns committed elements per second averaged over
+// [0, t] (Table 2's metric).
+func (r *Recorder) AvgThroughputUpTo(t time.Duration) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return float64(r.CommittedBy(t)) / t.Seconds()
+}
+
+// SeriesPoint is one sample of a rolling-average throughput curve.
+type SeriesPoint struct {
+	Time time.Duration
+	Rate float64 // elements/second
+}
+
+// ThroughputSeries returns the rolling average commit rate with the given
+// window (the paper plots a 9 s window), sampled once per second.
+func (r *Recorder) ThroughputSeries(window time.Duration) []SeriesPoint {
+	w := int(window / bucketWidth)
+	if w < 1 {
+		w = 1
+	}
+	var out []SeriesPoint
+	var sum uint64
+	for i := 0; i < len(r.committed); i++ {
+		sum += r.committed[i]
+		if i >= w {
+			sum -= r.committed[i-w]
+		}
+		span := w
+		if i+1 < w {
+			span = i + 1
+		}
+		out = append(out, SeriesPoint{
+			Time: time.Duration(i+1) * bucketWidth,
+			Rate: float64(sum) / (time.Duration(span) * bucketWidth).Seconds(),
+		})
+	}
+	return out
+}
+
+// CommitTimeAtFraction returns the virtual time by which the given fraction
+// of all injected elements had committed, and ok=false if never reached
+// (Appendix F's commit-time metric).
+func (r *Recorder) CommitTimeAtFraction(frac float64) (time.Duration, bool) {
+	target := uint64(frac * float64(r.totalInj))
+	if target == 0 {
+		target = 1
+	}
+	var sum uint64
+	for i, c := range r.committed {
+		sum += c
+		if sum >= target {
+			return time.Duration(i+1) * bucketWidth, true
+		}
+	}
+	return 0, false
+}
+
+// LatencyCDF returns the sorted per-element latencies from injection to the
+// given stage. Elements that never reached the stage are omitted; frac
+// reports the fraction that did (the CDF's terminal value).
+func (r *Recorder) LatencyCDF(stage Stage) (latencies []time.Duration, frac float64) {
+	if r.level < LevelStages || r.totalInj == 0 {
+		return nil, 0
+	}
+	switch stage {
+	case StageCommitted:
+		for _, er := range r.elems {
+			if er.committed != unset {
+				latencies = append(latencies, er.committed-er.injected)
+			}
+		}
+	default:
+		for _, rec := range r.txs {
+			var t time.Duration
+			switch stage {
+			case StageFirstMempool:
+				t = rec.first
+			case StageQuorumMempools:
+				t = rec.quorum
+			case StageAllMempools:
+				t = rec.all
+			case StageLedger:
+				t = rec.ledger
+			}
+			if t == unset {
+				continue
+			}
+			for _, id := range rec.elems {
+				if er := r.elems[id]; er != nil {
+					latencies = append(latencies, t-er.injected)
+				}
+			}
+		}
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, float64(len(latencies)) / float64(r.totalInj)
+}
+
+// LatencyQuantile returns the q-quantile (0..1) of a sorted latency slice.
+func LatencyQuantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -1,0 +1,270 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func elem(i int) *wire.Element {
+	e := &wire.Element{Size: 438}
+	e.ID[0] = byte(i)
+	e.ID[1] = byte(i >> 8)
+	return e
+}
+
+func TestCommitRequiresQuorumProofs(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0) // f=1: commit needs 2 proofs
+	es := []*wire.Element{elem(1), elem(2)}
+	s.After(time.Second, func() {
+		for _, e := range es {
+			r.Injected(e)
+		}
+		r.EpochCreated(0, 1, es)
+		r.ProofOnLedger(0, 1, 0)
+	})
+	s.After(2*time.Second, func() {
+		if r.TotalCommitted() != 0 {
+			t.Error("committed with a single proof")
+		}
+		r.ProofOnLedger(0, 1, 0) // duplicate signer ignored
+		if r.TotalCommitted() != 0 {
+			t.Error("duplicate signer counted")
+		}
+		r.ProofOnLedger(0, 1, 2) // second distinct signer: commit
+	})
+	s.Run()
+	if r.TotalCommitted() != 2 {
+		t.Fatalf("committed = %d, want 2", r.TotalCommitted())
+	}
+	if r.LastCommitTime() != 2*time.Second {
+		t.Fatalf("commit time = %v, want 2s", r.LastCommitTime())
+	}
+	// Extra proofs after commit are ignored.
+	r.ProofOnLedger(0, 1, 3)
+	if r.TotalCommitted() != 2 {
+		t.Fatal("post-commit proof recounted elements")
+	}
+}
+
+func TestNonObserverIgnored(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	r.Injected(elem(1))
+	r.EpochCreated(3, 1, []*wire.Element{elem(1)}) // node 3 is not observer
+	r.ProofOnLedger(3, 1, 0)
+	r.ProofOnLedger(3, 1, 1)
+	if r.TotalCommitted() != 0 {
+		t.Fatal("non-observer observations counted")
+	}
+}
+
+func TestEfficiencyAndAvgThroughput(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	var es []*wire.Element
+	s.After(0, func() {
+		for i := 0; i < 100; i++ {
+			e := elem(i)
+			es = append(es, e)
+			r.Injected(e)
+		}
+	})
+	// Half commit at t=10s.
+	s.After(10*time.Second, func() {
+		r.EpochCreated(0, 1, es[:50])
+		r.ProofOnLedger(0, 1, 1)
+		r.ProofOnLedger(0, 1, 2)
+	})
+	// Rest at t=60s.
+	s.After(60*time.Second, func() {
+		r.EpochCreated(0, 2, es[50:])
+		r.ProofOnLedger(0, 2, 1)
+		r.ProofOnLedger(0, 2, 2)
+	})
+	s.Run()
+	if eff := r.Efficiency(50 * time.Second); eff != 0.5 {
+		t.Fatalf("eff@50 = %v, want 0.5", eff)
+	}
+	if eff := r.Efficiency(100 * time.Second); eff != 1.0 {
+		t.Fatalf("eff@100 = %v, want 1.0", eff)
+	}
+	if avg := r.AvgThroughputUpTo(50 * time.Second); avg != 1.0 {
+		t.Fatalf("avg tput = %v el/s, want 1.0 (50 el in 50 s)", avg)
+	}
+}
+
+func TestCommitTimeAtFraction(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	var es []*wire.Element
+	s.After(0, func() {
+		for i := 0; i < 100; i++ {
+			e := elem(i)
+			es = append(es, e)
+			r.Injected(e)
+		}
+	})
+	s.After(5*time.Second, func() {
+		r.EpochCreated(0, 1, es[:30])
+		r.ProofOnLedger(0, 1, 1)
+		r.ProofOnLedger(0, 1, 2)
+	})
+	s.Run()
+	if tm, ok := r.CommitTimeAtFraction(0); !ok || tm != 6*time.Second {
+		t.Fatalf("first-element commit = %v/%v, want 6s bucket", tm, ok)
+	}
+	if tm, ok := r.CommitTimeAtFraction(0.30); !ok || tm != 6*time.Second {
+		t.Fatalf("30%% commit = %v/%v", tm, ok)
+	}
+	if _, ok := r.CommitTimeAtFraction(0.50); ok {
+		t.Fatal("50% reported committed with only 30 of 100")
+	}
+}
+
+func TestThroughputSeriesRollingWindow(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	// Commit 10 el/s for 20 s via one epoch per second.
+	var all []*wire.Element
+	for i := 0; i < 200; i++ {
+		all = append(all, elem(i))
+	}
+	s.After(0, func() {
+		for _, e := range all {
+			r.Injected(e)
+		}
+	})
+	for sec := 0; sec < 20; sec++ {
+		sec := sec
+		s.After(time.Duration(sec)*time.Second+500*time.Millisecond, func() {
+			ep := uint64(sec + 1)
+			r.EpochCreated(0, ep, all[sec*10:(sec+1)*10])
+			r.ProofOnLedger(0, ep, 1)
+			r.ProofOnLedger(0, ep, 2)
+		})
+	}
+	s.Run()
+	series := r.ThroughputSeries(9 * time.Second)
+	if len(series) != 20 {
+		t.Fatalf("series length = %d, want 20", len(series))
+	}
+	// Steady state: 10 el/s.
+	last := series[len(series)-1]
+	if last.Rate < 9.9 || last.Rate > 10.1 {
+		t.Fatalf("steady rate = %v, want ~10", last.Rate)
+	}
+	if last.Time != 20*time.Second {
+		t.Fatalf("last sample at %v, want 20s", last.Time)
+	}
+}
+
+func TestStageTracking(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelStages, 4, 1, 0)
+	e := elem(1)
+	tx := &wire.Tx{Kind: wire.TxElement, Element: e}
+	s.After(0, func() {
+		r.Injected(e)
+		r.RegisterCarrier(tx.Key(), []*wire.Element{e})
+	})
+	s.After(100*time.Millisecond, func() { r.TxEnteredMempool(0, tx) })
+	s.After(200*time.Millisecond, func() { r.TxEnteredMempool(1, tx) }) // f+1 = 2
+	s.After(250*time.Millisecond, func() { r.TxEnteredMempool(1, tx) }) // dup node ignored
+	s.After(300*time.Millisecond, func() { r.TxEnteredMempool(2, tx) })
+	s.After(400*time.Millisecond, func() { r.TxEnteredMempool(3, tx) }) // all
+	s.After(2*time.Second, func() {
+		r.BlockCommitted(0, &wire.Block{Height: 1, Txs: []*wire.Tx{tx}})
+	})
+	s.After(4*time.Second, func() {
+		r.EpochCreated(0, 1, []*wire.Element{e})
+		r.ProofOnLedger(0, 1, 1)
+		r.ProofOnLedger(0, 1, 2)
+	})
+	s.Run()
+	expect := map[Stage]time.Duration{
+		StageFirstMempool:   100 * time.Millisecond,
+		StageQuorumMempools: 200 * time.Millisecond,
+		StageAllMempools:    400 * time.Millisecond,
+		StageLedger:         2 * time.Second,
+		StageCommitted:      4 * time.Second,
+	}
+	for stage, want := range expect {
+		lats, frac := r.LatencyCDF(stage)
+		if len(lats) != 1 || frac != 1.0 {
+			t.Fatalf("%v: %d samples frac %v, want 1/1.0", stage, len(lats), frac)
+		}
+		if lats[0] != want {
+			t.Fatalf("%v latency = %v, want %v", stage, lats[0], want)
+		}
+	}
+}
+
+func TestStageCDFOmitsUnreached(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelStages, 10, 4, 0)
+	e1, e2 := elem(1), elem(2)
+	tx1 := &wire.Tx{Kind: wire.TxElement, Element: e1}
+	s.After(0, func() {
+		r.Injected(e1)
+		r.Injected(e2)
+		r.RegisterCarrier(tx1.Key(), []*wire.Element{e1})
+		r.TxEnteredMempool(0, tx1)
+	})
+	s.Run()
+	lats, frac := r.LatencyCDF(StageFirstMempool)
+	if len(lats) != 1 {
+		t.Fatalf("samples = %d, want 1", len(lats))
+	}
+	if frac != 0.5 {
+		t.Fatalf("reach fraction = %v, want 0.5", frac)
+	}
+}
+
+func TestThroughputLevelSkipsStageWork(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	e := elem(1)
+	tx := &wire.Tx{Kind: wire.TxElement, Element: e}
+	r.Injected(e)
+	r.RegisterCarrier(tx.Key(), []*wire.Element{e})
+	r.TxEnteredMempool(0, tx)
+	lats, _ := r.LatencyCDF(StageFirstMempool)
+	if lats != nil {
+		t.Fatal("throughput level produced stage latencies")
+	}
+}
+
+func TestLatencyQuantile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5}
+	if q := LatencyQuantile(sorted, 0); q != 1 {
+		t.Fatalf("q0 = %v", q)
+	}
+	if q := LatencyQuantile(sorted, 1); q != 5 {
+		t.Fatalf("q1 = %v", q)
+	}
+	if q := LatencyQuantile(sorted, 0.5); q != 3 {
+		t.Fatalf("q0.5 = %v", q)
+	}
+	if q := LatencyQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v", q)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	names := map[Stage]string{
+		StageFirstMempool:   "First mempool",
+		StageQuorumMempools: "f+1 mempools",
+		StageAllMempools:    "All mempools",
+		StageLedger:         "Ledger",
+		StageCommitted:      "f+1 epoch-proofs",
+	}
+	for st, want := range names {
+		if st.String() != want {
+			t.Fatalf("%d -> %q, want %q", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+// Package netsim simulates the cluster network the paper's evaluation runs
+// on: reliable point-to-point links between servers with configurable base
+// latency, jitter, an additive artificial delay (the paper's network_delay
+// parameter used to emulate WAN deployments), and per-node egress bandwidth.
+//
+// Reliability matches the paper's model ("messages sent between correct
+// processes are eventually delivered only once, and no spurious messages
+// are generated"): delivery is guaranteed and exactly-once, though delayed.
+// Byzantine behavior is modeled at the protocol layer, not by corrupting
+// the network.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Handler receives a delivered message on a node. from is the sender,
+// payload the (shared, read-only by convention) message object, and size
+// its wire size in bytes.
+type Handler func(from wire.NodeID, payload any, size int)
+
+// Config describes link characteristics.
+type Config struct {
+	// BaseLatency is the one-way propagation delay inside the cluster
+	// (LAN). The paper's cluster is a single rack; ~250µs is typical.
+	BaseLatency time.Duration
+	// ExtraDelay is the paper's network_delay parameter: an artificial
+	// latency added to ALL communications between servers (0/30/100 ms).
+	ExtraDelay time.Duration
+	// Jitter adds a uniformly distributed random delay in [0, Jitter).
+	Jitter time.Duration
+	// Bandwidth is per-node egress bandwidth in bytes/second; 0 means
+	// unlimited. Transmissions on one node serialize through its egress.
+	Bandwidth float64
+}
+
+// DefaultLANConfig mirrors the paper's cluster: sub-millisecond LAN latency,
+// gigabit-class egress, no artificial delay.
+func DefaultLANConfig() Config {
+	return Config{
+		BaseLatency: 250 * time.Microsecond,
+		Jitter:      100 * time.Microsecond,
+		Bandwidth:   125e6, // 1 Gbit/s
+	}
+}
+
+// Network is the simulated cluster fabric.
+type Network struct {
+	sim   *sim.Simulator
+	cfg   Config
+	nodes map[wire.NodeID]*node
+
+	// Stats.
+	messages  uint64
+	bytesSent uint64
+}
+
+type node struct {
+	id      wire.NodeID
+	handler Handler
+	egress  *sim.Resource
+	down    bool
+
+	bytesOut uint64
+	msgsOut  uint64
+}
+
+// New creates an empty network on the given simulator.
+func New(s *sim.Simulator, cfg Config) *Network {
+	return &Network{sim: s, cfg: cfg, nodes: make(map[wire.NodeID]*node)}
+}
+
+// AddNode registers a node and its delivery handler. Registering an id
+// twice replaces the handler (used by tests to interpose).
+func (n *Network) AddNode(id wire.NodeID, h Handler) {
+	if existing, ok := n.nodes[id]; ok {
+		existing.handler = h
+		return
+	}
+	n.nodes[id] = &node{
+		id:      id,
+		handler: h,
+		egress:  n.sim.NewResource(fmt.Sprintf("egress-%d", id)),
+	}
+}
+
+// SetDown marks a node as crashed: it neither sends nor receives. Used to
+// model silent Byzantine servers and crash faults.
+func (n *Network) SetDown(id wire.NodeID, down bool) {
+	if nd, ok := n.nodes[id]; ok {
+		nd.down = down
+	}
+}
+
+// NodeIDs returns the registered node ids in ascending order.
+func (n *Network) NodeIDs() []wire.NodeID {
+	ids := make([]wire.NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		ids = append(ids, id)
+	}
+	// Insertion sort: n is at most tens of nodes.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	return ids
+}
+
+// Send transmits payload of the given wire size from one node to another.
+// Delivery is reliable and exactly-once; latency is transmission time
+// (size/bandwidth, serialized per sender) plus propagation (base + extra +
+// jitter). Sending to self delivers after a negligible loopback delay and
+// does not consume egress bandwidth.
+func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
+	src, ok := n.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send from unknown node %d", from))
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("netsim: send to unknown node %d", to))
+	}
+	if src.down {
+		return // crashed nodes emit nothing
+	}
+	n.messages++
+	n.bytesSent += uint64(size)
+	src.msgsOut++
+	src.bytesOut += uint64(size)
+
+	if from == to {
+		n.sim.After(time.Microsecond, func() { n.deliver(src.id, dst, payload, size) })
+		return
+	}
+
+	prop := n.cfg.BaseLatency + n.cfg.ExtraDelay
+	if n.cfg.Jitter > 0 {
+		prop += time.Duration(n.sim.Rand().Int63n(int64(n.cfg.Jitter)))
+	}
+	var txTime time.Duration
+	if n.cfg.Bandwidth > 0 {
+		txTime = time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
+	}
+	// The sender's egress serializes transmissions; propagation then runs
+	// concurrently with later transmissions.
+	src.egress.Submit(txTime, func() {
+		n.sim.After(prop, func() { n.deliver(src.id, dst, payload, size) })
+	})
+}
+
+func (n *Network) deliver(from wire.NodeID, dst *node, payload any, size int) {
+	if dst.down || dst.handler == nil {
+		return
+	}
+	dst.handler(from, payload, size)
+}
+
+// Broadcast sends payload to every other registered node.
+func (n *Network) Broadcast(from wire.NodeID, payload any, size int) {
+	for _, id := range n.NodeIDs() {
+		if id != from {
+			n.Send(from, id, payload, size)
+		}
+	}
+}
+
+// Messages returns the total number of messages sent.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// BytesSent returns the total bytes placed on the network.
+func (n *Network) BytesSent() uint64 { return n.bytesSent }
+
+// NodeBytesOut returns the egress byte count for one node.
+func (n *Network) NodeBytesOut(id wire.NodeID) uint64 {
+	if nd, ok := n.nodes[id]; ok {
+		return nd.bytesOut
+	}
+	return 0
+}

@@ -1,0 +1,188 @@
+// Package setcrypto provides the cryptographic substrate the paper assumes:
+// a deployed PKI (every process knows every other process's public key),
+// ed25519 signatures (the EdDSA family the paper uses) and SHA-512 hashing
+// (FIPS 180-4, as in the paper's evaluation).
+//
+// Two suites are provided. Ed25519Suite performs real signing, verification
+// and hashing and is used by the full-fidelity code path (unit tests,
+// examples, small benchmarks). FastSuite produces deterministic 64-byte
+// tags derived from FNV hashing; it is used by the large virtual-time
+// simulations, where cryptographic CPU cost is charged to the simulated
+// CPU via the cost model instead of being burned for real (see
+// internal/harness.CostModel).
+package setcrypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha512"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// Sizes of the cryptographic artifacts on the wire, matching the paper's
+// reported lengths (SHA-512 digests and ed25519 signatures).
+const (
+	HashSize      = sha512.Size           // 64 bytes
+	SignatureSize = ed25519.SignatureSize // 64 bytes
+	PublicKeySize = ed25519.PublicKeySize // 32 bytes
+)
+
+// Suite bundles the primitives the Setchain algorithms need. Hash is
+// SHA-512 shaped (64-byte digests) in both implementations so wire sizes
+// are identical regardless of suite.
+type Suite interface {
+	// Sign signs msg with the private key of the given signer.
+	Sign(signer KeyPair, msg []byte) []byte
+	// Verify reports whether sig is a valid signature of msg under pub.
+	Verify(pub PublicKey, msg []byte, sig []byte) bool
+	// HashData returns the 64-byte digest of the concatenation of chunks.
+	HashData(chunks ...[]byte) []byte
+	// Name identifies the suite in logs and experiment metadata.
+	Name() string
+}
+
+// PublicKey is an opaque verification key.
+type PublicKey []byte
+
+// KeyPair holds a signing key and its public half.
+type KeyPair struct {
+	Public  PublicKey
+	private []byte
+}
+
+// Registry is the PKI: it maps process indices (servers 0..n-1 and any
+// number of clients) to their public keys. The paper assumes all processes
+// know all public keys upfront.
+type Registry struct {
+	keys map[int]PublicKey
+}
+
+// NewRegistry returns an empty PKI registry.
+func NewRegistry() *Registry {
+	return &Registry{keys: make(map[int]PublicKey)}
+}
+
+// Register records the public key for a process id, replacing any previous
+// key for that id.
+func (r *Registry) Register(id int, pub PublicKey) {
+	r.keys[id] = pub
+}
+
+// Lookup returns the public key for id, or nil if unknown.
+func (r *Registry) Lookup(id int) PublicKey {
+	return r.keys[id]
+}
+
+// Len reports how many processes are registered.
+func (r *Registry) Len() int { return len(r.keys) }
+
+// Ed25519Suite is the real-cryptography suite.
+type Ed25519Suite struct{}
+
+// Name implements Suite.
+func (Ed25519Suite) Name() string { return "ed25519+sha512" }
+
+// GenerateKeyPair creates an ed25519 keypair from the deterministic rng so
+// simulations with the same seed use the same keys.
+func GenerateKeyPair(rng *rand.Rand) KeyPair {
+	seed := make([]byte, ed25519.SeedSize)
+	for i := range seed {
+		seed[i] = byte(rng.Intn(256))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return KeyPair{Public: PublicKey(priv.Public().(ed25519.PublicKey)), private: priv}
+}
+
+// Sign implements Suite.
+func (Ed25519Suite) Sign(signer KeyPair, msg []byte) []byte {
+	if len(signer.private) != ed25519.PrivateKeySize {
+		panic(fmt.Sprintf("setcrypto: signing with a non-ed25519 key (len %d)", len(signer.private)))
+	}
+	return ed25519.Sign(ed25519.PrivateKey(signer.private), msg)
+}
+
+// Verify implements Suite.
+func (Ed25519Suite) Verify(pub PublicKey, msg []byte, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(ed25519.PublicKey(pub), msg, sig)
+}
+
+// HashData implements Suite using SHA-512.
+func (Ed25519Suite) HashData(chunks ...[]byte) []byte {
+	h := sha512.New()
+	for _, c := range chunks {
+		h.Write(c)
+	}
+	return h.Sum(nil)
+}
+
+// FastSuite is a non-cryptographic stand-in with identical artifact sizes.
+// A "signature" is a 64-byte tag binding (key, msg) through FNV-1a; forging
+// it would be trivial for a real adversary, but inside the simulation the
+// only adversaries are the Byzantine behaviors we inject ourselves, and
+// those are modeled at the protocol level (internal/byzantine), not at the
+// bit level. Its purpose is to keep large simulations cheap while the cost
+// model charges realistic crypto time to the virtual CPU.
+type FastSuite struct{}
+
+// Name implements Suite.
+func (FastSuite) Name() string { return "fast-fnv" }
+
+// FastKeyPair derives a FastSuite keypair for a process id.
+func FastKeyPair(id int) KeyPair {
+	pub := make([]byte, PublicKeySize)
+	binary.LittleEndian.PutUint64(pub, uint64(id)+0x9E3779B97F4A7C15)
+	priv := make([]byte, 8)
+	binary.LittleEndian.PutUint64(priv, uint64(id)+1)
+	return KeyPair{Public: pub, private: priv}
+}
+
+func fastTag(key []byte, msg []byte) []byte {
+	h := fnv.New64a()
+	h.Write(key)
+	h.Write(msg)
+	base := h.Sum64()
+	tag := make([]byte, SignatureSize)
+	for i := 0; i < SignatureSize/8; i++ {
+		binary.LittleEndian.PutUint64(tag[i*8:], base^uint64(i)*0x9E3779B97F4A7C15)
+	}
+	return tag
+}
+
+// Sign implements Suite.
+func (FastSuite) Sign(signer KeyPair, msg []byte) []byte {
+	return fastTag(signer.Public, msg)
+}
+
+// Verify implements Suite.
+func (FastSuite) Verify(pub PublicKey, msg []byte, sig []byte) bool {
+	if len(sig) != SignatureSize {
+		return false
+	}
+	want := fastTag(pub, msg)
+	for i := range want {
+		if want[i] != sig[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// HashData implements Suite with a 64-byte FNV-derived digest, preserving
+// SHA-512's wire size.
+func (FastSuite) HashData(chunks ...[]byte) []byte {
+	h := fnv.New64a()
+	for _, c := range chunks {
+		h.Write(c)
+	}
+	base := h.Sum64()
+	d := make([]byte, HashSize)
+	for i := 0; i < HashSize/8; i++ {
+		binary.LittleEndian.PutUint64(d[i*8:], base+uint64(i)*0x9E3779B97F4A7C15)
+	}
+	return d
+}

@@ -1,0 +1,314 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(3*time.Second, func() { got = append(got, 3) })
+	s.After(1*time.Second, func() { got = append(got, 1) })
+	s.After(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", s.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	fired := false
+	ev := s.After(time.Second, func() { fired = true })
+	ev.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel()
+}
+
+func TestScheduleInPastRunsNow(t *testing.T) {
+	s := New(1)
+	var at time.Duration = -1
+	s.After(5*time.Second, func() {
+		s.At(time.Second, func() { at = s.Now() }) // in the past
+	})
+	s.Run()
+	if at != 5*time.Second {
+		t.Fatalf("past-scheduled event ran at %v, want 5s", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() { count++ })
+	}
+	s.RunUntil(4 * time.Second)
+	if count != 4 {
+		t.Fatalf("events run = %d, want 4", count)
+	}
+	if s.Now() != 4*time.Second {
+		t.Fatalf("Now = %v, want 4s", s.Now())
+	}
+	if s.Pending() != 6 {
+		t.Fatalf("pending = %d, want 6", s.Pending())
+	}
+	s.RunUntil(20 * time.Second)
+	if count != 10 {
+		t.Fatalf("events run = %d, want 10", count)
+	}
+	if s.Now() != 20*time.Second {
+		t.Fatalf("Now advanced to %v, want 20s", s.Now())
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New(1)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(time.Duration(i)*time.Second, func() {
+			count++
+			if count == 3 {
+				s.Halt()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 after Halt", count)
+	}
+	s.Run() // resumes
+	if count != 10 {
+		t.Fatalf("count = %d after resume, want 10", count)
+	}
+}
+
+func TestRecursiveScheduling(t *testing.T) {
+	s := New(1)
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 100 {
+			s.After(10*time.Millisecond, tick)
+		}
+	}
+	s.After(0, tick)
+	s.Run()
+	if ticks != 100 {
+		t.Fatalf("ticks = %d, want 100", ticks)
+	}
+	if want := 990 * time.Millisecond; s.Now() != want {
+		t.Fatalf("Now = %v, want %v", s.Now(), want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var trace []int64
+		for i := 0; i < 50; i++ {
+			d := time.Duration(s.Rand().Intn(1000)) * time.Millisecond
+			s.After(d, func() { trace = append(trace, int64(s.Now())) })
+		}
+		s.Run()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatal("different trace lengths for same seed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNilEventPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil event fn")
+		}
+	}()
+	New(1).After(0, nil)
+}
+
+func TestResourceSerialization(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu")
+	var done []time.Duration
+	// Three jobs submitted simultaneously must run back to back.
+	s.After(0, func() {
+		r.Submit(100*time.Millisecond, func() { done = append(done, s.Now()) })
+		r.Submit(200*time.Millisecond, func() { done = append(done, s.Now()) })
+		r.Submit(300*time.Millisecond, func() { done = append(done, s.Now()) })
+	})
+	s.Run()
+	want := []time.Duration{100 * time.Millisecond, 300 * time.Millisecond, 600 * time.Millisecond}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", done, want)
+		}
+	}
+	if r.Jobs() != 3 {
+		t.Fatalf("jobs = %d, want 3", r.Jobs())
+	}
+	if r.BusyTime() != 600*time.Millisecond {
+		t.Fatalf("busy = %v, want 600ms", r.BusyTime())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu")
+	var second time.Duration
+	s.After(0, func() { r.Submit(50*time.Millisecond, nil) })
+	// Submitted after the first completes: starts at its submit time.
+	s.After(time.Second, func() {
+		r.Submit(50*time.Millisecond, func() { second = s.Now() })
+	})
+	s.Run()
+	if want := 1050 * time.Millisecond; second != want {
+		t.Fatalf("second completion = %v, want %v", second, want)
+	}
+	if r.Backlog() != 0 {
+		t.Fatalf("backlog = %v, want 0 at end", r.Backlog())
+	}
+}
+
+func TestResourceNegativeCost(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu")
+	fired := false
+	s.After(time.Second, func() { r.Submit(-5, func() { fired = true }) })
+	s.Run()
+	if !fired {
+		t.Fatal("zero-cost job did not complete")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("negative cost advanced time: %v", s.Now())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	s := New(1)
+	r := s.NewResource("cpu")
+	s.After(0, func() { r.Submit(time.Second, nil) })
+	s.At(2*time.Second, func() {})
+	s.Run()
+	if u := r.Utilization(); u < 0.49 || u > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", u)
+	}
+}
+
+// Property: for any set of scheduled delays, events fire in nondecreasing
+// time order and the clock ends at the maximum delay.
+func TestQuickEventOrderInvariant(t *testing.T) {
+	f := func(delaysMs []uint16) bool {
+		if len(delaysMs) == 0 {
+			return true
+		}
+		s := New(7)
+		var fired []time.Duration
+		var maxD time.Duration
+		for _, ms := range delaysMs {
+			d := time.Duration(ms) * time.Millisecond
+			if d > maxD {
+				maxD = d
+			}
+			s.After(d, func() { fired = append(fired, s.Now()) })
+		}
+		s.Run()
+		if len(fired) != len(delaysMs) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return s.Now() == maxD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a serial resource never overlaps jobs — total completion time of
+// simultaneously submitted jobs equals the sum of costs.
+func TestQuickResourceSerialInvariant(t *testing.T) {
+	f := func(costsMs []uint8) bool {
+		s := New(3)
+		r := s.NewResource("cpu")
+		var total time.Duration
+		var last time.Duration
+		s.After(0, func() {
+			for _, c := range costsMs {
+				d := time.Duration(c) * time.Millisecond
+				total += d
+				r.Submit(d, func() { last = s.Now() })
+			}
+		})
+		s.Run()
+		if len(costsMs) == 0 {
+			return true
+		}
+		return last == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandStreamIsSeeded(t *testing.T) {
+	a := New(99).Rand().Int63()
+	b := New(99).Rand().Int63()
+	if a != b {
+		t.Fatal("same seed produced different random streams")
+	}
+	c := rand.New(rand.NewSource(100)).Int63()
+	_ = c // different seeds almost surely differ; no assertion needed
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	s := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if s.Pending() > 10000 {
+			s.Run()
+		}
+	}
+	s.Run()
+}

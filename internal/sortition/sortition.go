@@ -1,0 +1,154 @@
+// Package sortition sketches the paper's §2 remark that the open
+// permissioned model "can also be adapted to a permissionless setting with
+// committee sortition [Algorand] without significant modifications": a
+// deterministic, stake-weighted committee is drawn per term (a range of
+// epochs) from a verifiable seed, and that committee plays the role of the
+// n known servers for the term.
+//
+// The selection is a simplified follow-the-satoshi over a stake table,
+// seeded by hashing (previous seed, term number): every participant can
+// recompute the committee and its f bound, so clients know whose
+// epoch-proof signatures to require during the term. Real VRF-based
+// private sortition (as in Algorand) is out of scope; what matters for
+// Setchain is that the committee is deterministic, stake-weighted and
+// rotates.
+package sortition
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/setcrypto"
+)
+
+// Stake is one participant's weight.
+type Stake struct {
+	ID     int
+	Weight uint64
+}
+
+// Params configures committee selection.
+type Params struct {
+	// CommitteeSize is the number of distinct members drawn per term (the
+	// Setchain's n for that term).
+	CommitteeSize int
+	// TermLength is how many epochs a committee serves before rotation.
+	TermLength uint64
+}
+
+// Errors.
+var (
+	ErrNoStake       = errors.New("sortition: empty or zero-weight stake table")
+	ErrCommitteeSize = errors.New("sortition: committee larger than participant set")
+)
+
+// Committee is one term's selected server set.
+type Committee struct {
+	Term    uint64
+	Members []int // distinct participant ids, sorted
+	Seed    []byte
+}
+
+// F returns the Setchain fault bound for this committee (f < n/2).
+func (c *Committee) F() int { return (len(c.Members) - 1) / 2 }
+
+// Contains reports whether a participant serves in this committee.
+func (c *Committee) Contains(id int) bool {
+	i := sort.SearchInts(c.Members, id)
+	return i < len(c.Members) && c.Members[i] == id
+}
+
+// Selector draws committees deterministically from a stake table.
+type Selector struct {
+	suite  setcrypto.Suite
+	params Params
+	stakes []Stake
+	total  uint64
+}
+
+// NewSelector validates the stake table and prepares cumulative weights.
+// The stake slice is copied and sorted by id for determinism.
+func NewSelector(suite setcrypto.Suite, params Params, stakes []Stake) (*Selector, error) {
+	if params.CommitteeSize <= 0 {
+		return nil, fmt.Errorf("sortition: committee size %d", params.CommitteeSize)
+	}
+	if params.TermLength == 0 {
+		params.TermLength = 100
+	}
+	ss := append([]Stake(nil), stakes...)
+	sort.Slice(ss, func(i, j int) bool { return ss[i].ID < ss[j].ID })
+	var total uint64
+	distinct := 0
+	for _, s := range ss {
+		if s.Weight > 0 {
+			distinct++
+		}
+		total += s.Weight
+	}
+	if total == 0 {
+		return nil, ErrNoStake
+	}
+	if params.CommitteeSize > distinct {
+		return nil, ErrCommitteeSize
+	}
+	return &Selector{suite: suite, params: params, stakes: ss, total: total}, nil
+}
+
+// TermOf maps an epoch number to its committee term.
+func (s *Selector) TermOf(epoch uint64) uint64 {
+	if epoch == 0 {
+		return 0
+	}
+	return (epoch - 1) / s.params.TermLength
+}
+
+// seedFor derives the term seed: Hash(genesis ‖ term), chained so future
+// seeds cannot be ground without re-deriving the whole chain.
+func (s *Selector) seedFor(term uint64) []byte {
+	seed := s.suite.HashData([]byte("setchain-sortition-genesis"))
+	for t := uint64(0); t <= term; t++ {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], t)
+		seed = s.suite.HashData(seed, buf[:])
+	}
+	return seed
+}
+
+// Committee draws the committee for a term: CommitteeSize distinct members
+// via stake-weighted sampling without replacement (follow-the-satoshi over
+// the remaining weight).
+func (s *Selector) Committee(term uint64) *Committee {
+	seed := s.seedFor(term)
+	remaining := append([]Stake(nil), s.stakes...)
+	total := s.total
+	var members []int
+	for draw := 0; len(members) < s.params.CommitteeSize; draw++ {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(draw))
+		digest := s.suite.HashData(seed, buf[:])
+		ticket := binary.LittleEndian.Uint64(digest) % total
+		// Walk the cumulative stake to the ticket's owner.
+		var acc uint64
+		for i := range remaining {
+			if remaining[i].Weight == 0 {
+				continue
+			}
+			acc += remaining[i].Weight
+			if ticket < acc {
+				members = append(members, remaining[i].ID)
+				total -= remaining[i].Weight
+				remaining[i].Weight = 0
+				break
+			}
+		}
+	}
+	sort.Ints(members)
+	return &Committee{Term: term, Members: members, Seed: seed}
+}
+
+// CommitteeForEpoch is a convenience wrapper.
+func (s *Selector) CommitteeForEpoch(epoch uint64) *Committee {
+	return s.Committee(s.TermOf(epoch))
+}

@@ -1,0 +1,194 @@
+package sortition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setcrypto"
+)
+
+func selector(t *testing.T, size int, term uint64, stakes []Stake) *Selector {
+	t.Helper()
+	s, err := NewSelector(setcrypto.FastSuite{}, Params{CommitteeSize: size, TermLength: term}, stakes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func uniformStakes(n int) []Stake {
+	out := make([]Stake, n)
+	for i := range out {
+		out[i] = Stake{ID: i, Weight: 100}
+	}
+	return out
+}
+
+func TestCommitteeDeterministic(t *testing.T) {
+	s1 := selector(t, 4, 10, uniformStakes(20))
+	s2 := selector(t, 4, 10, uniformStakes(20))
+	c1, c2 := s1.Committee(3), s2.Committee(3)
+	if len(c1.Members) != 4 || len(c2.Members) != 4 {
+		t.Fatalf("committee sizes %d/%d", len(c1.Members), len(c2.Members))
+	}
+	for i := range c1.Members {
+		if c1.Members[i] != c2.Members[i] {
+			t.Fatalf("committees diverge: %v vs %v", c1.Members, c2.Members)
+		}
+	}
+}
+
+func TestCommitteeMembersDistinctAndSorted(t *testing.T) {
+	s := selector(t, 7, 10, uniformStakes(10))
+	c := s.Committee(0)
+	for i := 1; i < len(c.Members); i++ {
+		if c.Members[i] <= c.Members[i-1] {
+			t.Fatalf("members not strictly increasing: %v", c.Members)
+		}
+	}
+	if c.F() != 3 {
+		t.Fatalf("f = %d for 7 members, want 3", c.F())
+	}
+}
+
+func TestCommitteesRotateAcrossTerms(t *testing.T) {
+	s := selector(t, 4, 10, uniformStakes(50))
+	same := 0
+	prev := s.Committee(0)
+	for term := uint64(1); term <= 20; term++ {
+		cur := s.Committee(term)
+		identical := true
+		for i := range cur.Members {
+			if cur.Members[i] != prev.Members[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			same++
+		}
+		prev = cur
+	}
+	if same > 2 {
+		t.Fatalf("%d of 20 consecutive terms had identical committees", same)
+	}
+}
+
+func TestStakeWeighting(t *testing.T) {
+	// A whale with 100x the stake of everyone else should be selected in
+	// nearly every term.
+	stakes := uniformStakes(30)
+	stakes = append(stakes, Stake{ID: 999, Weight: 100 * 100 * 30})
+	s := selector(t, 3, 10, stakes)
+	hits := 0
+	for term := uint64(0); term < 50; term++ {
+		if s.Committee(term).Contains(999) {
+			hits++
+		}
+	}
+	if hits < 45 {
+		t.Fatalf("whale selected in %d/50 terms, want nearly all", hits)
+	}
+}
+
+func TestZeroWeightNeverSelected(t *testing.T) {
+	stakes := uniformStakes(10)
+	stakes = append(stakes, Stake{ID: 77, Weight: 0})
+	s := selector(t, 10, 10, stakes)
+	for term := uint64(0); term < 10; term++ {
+		if s.Committee(term).Contains(77) {
+			t.Fatal("zero-stake participant selected")
+		}
+	}
+}
+
+func TestTermOf(t *testing.T) {
+	s := selector(t, 2, 10, uniformStakes(4))
+	cases := map[uint64]uint64{0: 0, 1: 0, 10: 0, 11: 1, 20: 1, 21: 2}
+	for epoch, want := range cases {
+		if got := s.TermOf(epoch); got != want {
+			t.Fatalf("TermOf(%d) = %d, want %d", epoch, got, want)
+		}
+	}
+	c := s.CommitteeForEpoch(11)
+	if c.Term != 1 {
+		t.Fatalf("epoch 11 term = %d, want 1", c.Term)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	suite := setcrypto.FastSuite{}
+	if _, err := NewSelector(suite, Params{CommitteeSize: 0}, uniformStakes(3)); err == nil {
+		t.Fatal("zero committee size accepted")
+	}
+	if _, err := NewSelector(suite, Params{CommitteeSize: 5}, uniformStakes(3)); err != ErrCommitteeSize {
+		t.Fatalf("oversized committee: %v", err)
+	}
+	if _, err := NewSelector(suite, Params{CommitteeSize: 1}, nil); err != ErrNoStake {
+		t.Fatalf("empty stake: %v", err)
+	}
+	if _, err := NewSelector(suite, Params{CommitteeSize: 1},
+		[]Stake{{ID: 1, Weight: 0}}); err != ErrNoStake {
+		t.Fatal("zero-weight table accepted")
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := &Committee{Members: []int{2, 5, 9}}
+	for _, id := range []int{2, 5, 9} {
+		if !c.Contains(id) {
+			t.Fatalf("member %d not found", id)
+		}
+	}
+	for _, id := range []int{0, 3, 10} {
+		if c.Contains(id) {
+			t.Fatalf("non-member %d found", id)
+		}
+	}
+}
+
+// Property: every committee for any term and stake distribution has exactly
+// CommitteeSize distinct members, all with positive stake.
+func TestQuickCommitteeWellFormed(t *testing.T) {
+	f := func(weights []uint8, term uint8) bool {
+		var stakes []Stake
+		positive := 0
+		for i, w := range weights {
+			stakes = append(stakes, Stake{ID: i, Weight: uint64(w)})
+			if w > 0 {
+				positive++
+			}
+		}
+		if positive < 3 {
+			return true // not enough participants; skip
+		}
+		s, err := NewSelector(setcrypto.FastSuite{}, Params{CommitteeSize: 3, TermLength: 5}, stakes)
+		if err != nil {
+			return false
+		}
+		c := s.Committee(uint64(term))
+		if len(c.Members) != 3 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, m := range c.Members {
+			if seen[m] {
+				return false
+			}
+			seen[m] = true
+			found := false
+			for _, st := range stakes {
+				if st.ID == m && st.Weight > 0 {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

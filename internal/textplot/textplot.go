@@ -1,0 +1,330 @@
+// Package textplot renders the evaluation's figures as terminal charts:
+// log-scale time series (Fig. 1, Fig. 2), grouped bar charts (Fig. 3,
+// Fig. 5) and CDF curves (Fig. 4). Output is plain text so the benchmark
+// harness can regenerate every figure without plotting dependencies.
+package textplot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// markers cycles default glyphs for unnamed series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// LinePlot renders curves on a width×height character grid. If logY is set
+// the y axis is log10 (zeros are clamped to the smallest positive value).
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int
+	Height int
+	LogY   bool
+	Series []Series
+	// HLines draws labeled horizontal reference lines (the analytical
+	// throughput dashes in Figs. 1-2).
+	HLines map[string]float64
+}
+
+// Add appends a curve.
+func (p *LinePlot) Add(name string, x, y []float64) {
+	m := markers[len(p.Series)%len(markers)]
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y, Marker: m})
+}
+
+func (p *LinePlot) dims() (int, int) {
+	w, h := p.Width, p.Height
+	if w == 0 {
+		w = 72
+	}
+	if h == 0 {
+		h = 20
+	}
+	return w, h
+}
+
+// Render draws the plot.
+func (p *LinePlot) Render() string {
+	w, h := p.dims()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			y := s.Y[i]
+			if p.LogY && y <= 0 {
+				continue
+			}
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	for _, v := range p.HLines {
+		if v > 0 || !p.LogY {
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return p.Title + "\n(no data)\n"
+	}
+	if minX == maxX {
+		maxX = minX + 1
+	}
+	ty := func(y float64) float64 {
+		if !p.LogY {
+			return y
+		}
+		if y <= 0 {
+			y = minY
+		}
+		return math.Log10(y)
+	}
+	loY, hiY := ty(minY), ty(maxY)
+	if loY == hiY {
+		hiY = loY + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m byte) {
+		col := int(math.Round((x - minX) / (maxX - minX) * float64(w-1)))
+		row := int(math.Round((hiY - ty(y)) / (hiY - loY) * float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	// Reference lines first so data overwrites them.
+	for _, v := range p.HLines {
+		row := int(math.Round((hiY - ty(v)) / (hiY - loY) * float64(h-1)))
+		if row >= 0 && row < h {
+			for c := 0; c < w; c++ {
+				if grid[row][c] == ' ' {
+					grid[row][c] = '.'
+				}
+			}
+		}
+	}
+	for _, s := range p.Series {
+		for i := range s.X {
+			if p.LogY && s.Y[i] <= 0 {
+				continue
+			}
+			plot(s.X[i], s.Y[i], s.Marker)
+		}
+	}
+
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	yAxisW := 10
+	for r := 0; r < h; r++ {
+		val := hiY - (hiY-loY)*float64(r)/float64(h-1)
+		if p.LogY {
+			val = math.Pow(10, val)
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", yAxisW, compact(val), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", yAxisW, "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", yAxisW, "", w-len(compact(maxX)), compact(minX), compact(maxX))
+	if p.XLabel != "" || p.YLabel != "" {
+		fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", yAxisW, "", p.XLabel, p.YLabel)
+	}
+	var names []string
+	for _, s := range p.Series {
+		names = append(names, fmt.Sprintf("%c %s", s.Marker, s.Name))
+	}
+	var hl []string
+	for name := range p.HLines {
+		hl = append(hl, name)
+	}
+	sort.Strings(hl)
+	for _, name := range hl {
+		names = append(names, fmt.Sprintf(". %s=%s", name, compact(p.HLines[name])))
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "%*s  legend: %s\n", yAxisW, "", strings.Join(names, " | "))
+	}
+	return b.String()
+}
+
+// compact formats a number tersely (1.2k, 3.4M).
+func compact(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case a >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case a >= 1e4:
+		return fmt.Sprintf("%.0fk", v/1e3)
+	case a >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case a >= 10 || a == math.Trunc(a):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// BarGroup is one cluster of bars (e.g. one sending rate in Fig. 3).
+type BarGroup struct {
+	Label string
+	Bars  []Bar
+}
+
+// Bar is a single measured value.
+type Bar struct {
+	Name  string
+	Value float64
+}
+
+// BarChart renders grouped horizontal bars scaled to Max (efficiency
+// charts use Max=1).
+type BarChart struct {
+	Title string
+	Max   float64
+	Width int
+	Unit  string
+	Group []BarGroup
+}
+
+// Render draws the chart.
+func (c *BarChart) Render() string {
+	w := c.Width
+	if w == 0 {
+		w = 50
+	}
+	max := c.Max
+	if max == 0 {
+		for _, g := range c.Group {
+			for _, b := range g.Bars {
+				max = math.Max(max, b.Value)
+			}
+		}
+		if max == 0 {
+			max = 1
+		}
+	}
+	nameW := 0
+	for _, g := range c.Group {
+		for _, b := range g.Bars {
+			if len(b.Name) > nameW {
+				nameW = len(b.Name)
+			}
+		}
+	}
+	var sb strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", c.Title)
+	}
+	for _, g := range c.Group {
+		fmt.Fprintf(&sb, "%s\n", g.Label)
+		for _, b := range g.Bars {
+			filled := int(math.Round(b.Value / max * float64(w)))
+			if filled > w {
+				filled = w
+			}
+			if filled < 0 {
+				filled = 0
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s%s| %s%s\n", nameW, b.Name,
+				strings.Repeat("=", filled), strings.Repeat(" ", w-filled),
+				compact(b.Value), c.Unit)
+		}
+	}
+	return sb.String()
+}
+
+// Table renders an aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render draws the table.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i < len(widths) {
+				fmt.Fprintf(&sb, "%-*s  ", widths[i], c)
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	var dashes []string
+	for _, w := range widths {
+		dashes = append(dashes, strings.Repeat("-", w))
+	}
+	line(dashes)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// CDF renders cumulative distribution curves from sorted sample sets, with
+// each curve's terminal fraction (curves that never reach 1 stay below it,
+// as in Fig. 4 for elements that never reached a stage).
+func CDF(title string, width, height int, curves map[string][]float64, reach map[string]float64) string {
+	p := &LinePlot{Title: title, Width: width, Height: height, XLabel: "latency (s)", YLabel: "F(x)"}
+	var names []string
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		samples := curves[name]
+		if len(samples) == 0 {
+			continue
+		}
+		frac := 1.0
+		if reach != nil {
+			if f, ok := reach[name]; ok {
+				frac = f
+			}
+		}
+		var xs, ys []float64
+		for i, v := range samples {
+			xs = append(xs, v)
+			ys = append(ys, frac*float64(i+1)/float64(len(samples)))
+		}
+		p.Add(name, xs, ys)
+	}
+	return p.Render()
+}

@@ -1,0 +1,160 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLinePlotBasics(t *testing.T) {
+	p := &LinePlot{Title: "test", Width: 40, Height: 10, XLabel: "t", YLabel: "v"}
+	p.Add("a", []float64{0, 1, 2, 3}, []float64{1, 2, 3, 4})
+	p.Add("b", []float64{0, 1, 2, 3}, []float64{4, 3, 2, 1})
+	out := p.Render()
+	if !strings.Contains(out, "test") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "legend: * a | o b") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers missing")
+	}
+	if !strings.Contains(out, "x: t   y: v") {
+		t.Fatal("axis labels missing")
+	}
+}
+
+func TestLinePlotLogScale(t *testing.T) {
+	p := &LinePlot{Width: 40, Height: 12, LogY: true}
+	p.Add("exp", []float64{0, 1, 2, 3}, []float64{1, 100, 10000, 0}) // zero clamped
+	out := p.Render()
+	if !strings.Contains(out, "10k") {
+		t.Fatalf("log axis label missing:\n%s", out)
+	}
+}
+
+func TestLinePlotHLines(t *testing.T) {
+	p := &LinePlot{Width: 30, Height: 8, HLines: map[string]float64{"cap": 5}}
+	p.Add("s", []float64{0, 10}, []float64{1, 9})
+	out := p.Render()
+	if !strings.Contains(out, ". cap=5") {
+		t.Fatalf("hline legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "...") {
+		t.Fatal("reference line dots missing")
+	}
+}
+
+func TestLinePlotEmpty(t *testing.T) {
+	p := &LinePlot{Title: "empty"}
+	if out := p.Render(); !strings.Contains(out, "(no data)") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+}
+
+func TestLinePlotSinglePoint(t *testing.T) {
+	p := &LinePlot{Width: 20, Height: 5}
+	p.Add("pt", []float64{1}, []float64{1})
+	out := p.Render() // must not divide by zero
+	if out == "" {
+		t.Fatal("empty render")
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	c := &BarChart{
+		Title: "eff",
+		Max:   1,
+		Width: 20,
+		Group: []BarGroup{
+			{Label: "500 el/s", Bars: []Bar{{"Vanilla", 1.0}, {"Hashchain", 0.5}}},
+		},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "eff") || !strings.Contains(out, "500 el/s") {
+		t.Fatal("labels missing")
+	}
+	if !strings.Contains(out, strings.Repeat("=", 20)) {
+		t.Fatal("full bar not full width")
+	}
+	if !strings.Contains(out, strings.Repeat("=", 10)+strings.Repeat(" ", 10)) {
+		t.Fatalf("half bar wrong:\n%s", out)
+	}
+}
+
+func TestBarChartAutoMax(t *testing.T) {
+	c := &BarChart{Width: 10, Group: []BarGroup{
+		{Label: "g", Bars: []Bar{{"x", 50}, {"y", 100}}},
+	}}
+	out := c.Render()
+	if !strings.Contains(out, strings.Repeat("=", 10)) {
+		t.Fatalf("max bar not full:\n%s", out)
+	}
+}
+
+func TestBarChartClampsOverflow(t *testing.T) {
+	c := &BarChart{Max: 1, Width: 10, Group: []BarGroup{
+		{Label: "g", Bars: []Bar{{"over", 3.5}, {"neg", -1}}},
+	}}
+	out := c.Render() // must not panic on out-of-range values
+	if !strings.Contains(out, "over") {
+		t.Fatal("bar missing")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tab := &Table{Title: "T", Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Fatal("separator missing")
+	}
+	// Column alignment: header and data share the same width.
+	if len(lines[1]) < len("a    bb") {
+		t.Fatal("columns not padded")
+	}
+}
+
+func TestCDFRender(t *testing.T) {
+	out := CDF("cdf", 40, 10,
+		map[string][]float64{
+			"fast": {0.1, 0.2, 0.3},
+			"slow": {1, 2, 3, 4},
+		},
+		map[string]float64{"fast": 1.0, "slow": 0.5})
+	if !strings.Contains(out, "cdf") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "fast") || !strings.Contains(out, "slow") {
+		t.Fatal("curve names missing")
+	}
+}
+
+func TestCDFEmptyCurveSkipped(t *testing.T) {
+	out := CDF("c", 30, 8, map[string][]float64{"empty": nil, "one": {1}}, nil)
+	if strings.Contains(out, "empty") {
+		t.Fatal("empty curve in legend")
+	}
+}
+
+func TestCompactFormatting(t *testing.T) {
+	cases := map[float64]string{
+		0.5:   "0.50",
+		7:     "7",
+		42:    "42",
+		1500:  "1.5k",
+		25000: "25k",
+		3.2e6: "3.2M",
+		4.5e9: "4.5G",
+	}
+	for v, want := range cases {
+		if got := compact(v); got != want {
+			t.Fatalf("compact(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/setcrypto"
+)
+
+func TestWireSizeConstantsMatchPaper(t *testing.T) {
+	p := &EpochProof{}
+	if p.WireSize() != 139 {
+		t.Fatalf("epoch-proof wire size = %d, want 139 (paper §4)", p.WireSize())
+	}
+	hb := &HashBatch{}
+	if hb.WireSize() != 139 {
+		t.Fatalf("hash-batch wire size = %d, want 139 (paper §4)", hb.WireSize())
+	}
+}
+
+func TestElementSigningBytesBindAllFields(t *testing.T) {
+	e := &Element{Client: 7, Seq: 3, Payload: []byte("data")}
+	e.ID[0] = 1
+	base := e.SigningBytes()
+	variants := []*Element{
+		{Client: 8, Seq: 3, Payload: []byte("data")},
+		{Client: 7, Seq: 4, Payload: []byte("data")},
+		{Client: 7, Seq: 3, Payload: []byte("datb")},
+	}
+	variants[0].ID[0] = 1
+	variants[1].ID[0] = 1
+	variants[2].ID[0] = 1
+	for i, v := range variants {
+		if bytes.Equal(base, v.SigningBytes()) {
+			t.Fatalf("variant %d has identical signing bytes", i)
+		}
+	}
+	e2 := &Element{Client: 7, Seq: 3, Payload: []byte("data")}
+	if bytes.Equal(base, e2.SigningBytes()) {
+		t.Fatal("different IDs produced identical signing bytes") // e2.ID zero
+	}
+}
+
+func TestBatchAccounting(t *testing.T) {
+	b := &Batch{}
+	if !b.Empty() || b.Len() != 0 || b.RawSize() != 0 {
+		t.Fatal("empty batch accounting wrong")
+	}
+	b.Elements = append(b.Elements, &Element{Size: 438}, &Element{Size: 100})
+	b.Proofs = append(b.Proofs, &EpochProof{})
+	if b.Len() != 3 {
+		t.Fatalf("len = %d, want 3", b.Len())
+	}
+	if b.RawSize() != 438+100+139 {
+		t.Fatalf("raw = %d, want %d", b.RawSize(), 438+100+139)
+	}
+}
+
+func TestTxKeysDistinct(t *testing.T) {
+	e := &Element{Size: 1}
+	e.ID[0] = 9
+	txs := []*Tx{
+		{Kind: TxElement, Element: e},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 1, Signer: 2}},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 1, Signer: 3}},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 2, Signer: 2}},
+		{Kind: TxCompressedBatch, Compressed: &CompressedBatch{Origin: 1, Seq: 1, CompSize: 10}},
+		{Kind: TxCompressedBatch, Compressed: &CompressedBatch{Origin: 1, Seq: 2, CompSize: 10}},
+		{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: []byte("h"), Signer: 1}},
+		{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: []byte("h"), Signer: 2}},
+	}
+	seen := make(map[string]bool)
+	for i, tx := range txs {
+		k := tx.Key()
+		if k == "" {
+			t.Fatalf("tx %d has empty key", i)
+		}
+		if seen[k] {
+			t.Fatalf("tx %d key %q collides", i, k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestTxWireSizeDispatch(t *testing.T) {
+	e := &Element{Size: 438}
+	cases := []struct {
+		tx   *Tx
+		want int
+	}{
+		{&Tx{Kind: TxElement, Element: e}, 438},
+		{&Tx{Kind: TxProof, Proof: &EpochProof{}}, 139},
+		{&Tx{Kind: TxCompressedBatch, Compressed: &CompressedBatch{CompSize: 777}}, 777},
+		{&Tx{Kind: TxHashBatch, HashBatch: &HashBatch{}}, 139},
+		{&Tx{Kind: 99}, 0},
+	}
+	for i, c := range cases {
+		if got := c.tx.WireSize(); got != c.want {
+			t.Fatalf("case %d: size = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestTxKindString(t *testing.T) {
+	for _, c := range []struct {
+		k    TxKind
+		want string
+	}{
+		{TxElement, "element"}, {TxProof, "proof"},
+		{TxCompressedBatch, "compressed-batch"}, {TxHashBatch, "hash-batch"},
+	} {
+		if c.k.String() != c.want {
+			t.Fatalf("%d -> %q, want %q", c.k, c.k.String(), c.want)
+		}
+	}
+	if TxKind(42).String() == "" {
+		t.Fatal("unknown kind has empty string")
+	}
+}
+
+func TestEpochHashInputOrderSensitive(t *testing.T) {
+	a := &Element{}
+	a.ID[0] = 1
+	b := &Element{}
+	b.ID[0] = 2
+	h1 := EpochHashInput(3, []*Element{a, b})
+	h2 := EpochHashInput(3, []*Element{b, a})
+	if bytes.Equal(h1, h2) {
+		t.Fatal("epoch hash input ignores element order")
+	}
+	h3 := EpochHashInput(4, []*Element{a, b})
+	if bytes.Equal(h1, h3) {
+		t.Fatal("epoch hash input ignores epoch number")
+	}
+}
+
+func TestVerifyEpochProof(t *testing.T) {
+	suite := setcrypto.FastSuite{}
+	reg := setcrypto.NewRegistry()
+	kp := setcrypto.FastKeyPair(2)
+	reg.Register(2, kp.Public)
+	elems := []*Element{{Size: 1}}
+	hash := suite.HashData(EpochHashInput(1, elems))
+	p := &EpochProof{Epoch: 1, EpochHash: hash, Sig: suite.Sign(kp, hash), Signer: 2}
+	if !VerifyEpochProof(suite, reg, p, hash) {
+		t.Fatal("valid proof rejected")
+	}
+	// Wrong expected hash.
+	other := suite.HashData([]byte("other"))
+	if VerifyEpochProof(suite, reg, p, other) {
+		t.Fatal("proof verified against wrong epoch hash")
+	}
+	// Unknown signer.
+	p2 := *p
+	p2.Signer = 9
+	if VerifyEpochProof(suite, reg, &p2, hash) {
+		t.Fatal("proof from unregistered signer verified")
+	}
+	// Nil / empty cases.
+	if VerifyEpochProof(suite, reg, nil, hash) {
+		t.Fatal("nil proof verified")
+	}
+	if VerifyEpochProof(suite, reg, p, nil) {
+		t.Fatal("empty expected hash verified")
+	}
+}
+
+// Property: hash keys are injective on digests (string conversion is exact).
+func TestQuickHashKeyInjective(t *testing.T) {
+	f := func(a, b []byte) bool {
+		if bytes.Equal(a, b) {
+			return HashKey(a) == HashKey(b)
+		}
+		return HashKey(a) != HashKey(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

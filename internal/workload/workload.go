@@ -1,0 +1,168 @@
+// Package workload generates the evaluation's element stream: synthetic
+// Arbitrum-like transactions (the paper downloads real Arbitrum
+// transactions; their only property the evaluation depends on is the size
+// distribution — mean ≈ 438 bytes, σ ≈ 753.5) injected at a controlled
+// aggregate sending rate split evenly across clients, each client adding to
+// its local server (paper §4, Experiment Scenarios).
+package workload
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// SizeModel samples element wire sizes.
+type SizeModel struct {
+	// Mean and StdDev of the element size in bytes.
+	Mean   float64
+	StdDev float64
+	// Min clamps the smallest element (a signed envelope cannot be empty).
+	Min int
+	// Max clamps the largest element.
+	Max int
+}
+
+// ArbitrumSizes returns the paper's measured distribution: mean 438 B,
+// σ 753.5. Sizes are drawn log-normally (transaction sizes are heavy
+// tailed: most transfers are small, contract deployments are huge), with
+// the log-normal parameters derived from the target mean and variance.
+func ArbitrumSizes() SizeModel {
+	return SizeModel{Mean: 438, StdDev: 753.5, Min: 96, Max: 16384}
+}
+
+// lognormalParams converts the target mean m and stddev s into the
+// underlying normal's (mu, sigma): for X ~ LogNormal(mu, sigma),
+// E[X] = exp(mu + sigma²/2) and Var[X] = (exp(sigma²)-1)·exp(2mu+sigma²).
+func (m SizeModel) lognormalParams() (mu, sigma float64) {
+	if m.Mean <= 0 {
+		return 0, 0
+	}
+	cv2 := (m.StdDev * m.StdDev) / (m.Mean * m.Mean)
+	sigma2 := math.Log(1 + cv2)
+	mu = math.Log(m.Mean) - sigma2/2
+	return mu, math.Sqrt(sigma2)
+}
+
+// Sample draws one element size.
+func (m SizeModel) Sample(rng interface{ NormFloat64() float64 }) int {
+	mu, sigma := m.lognormalParams()
+	size := int(math.Exp(mu + sigma*rng.NormFloat64()))
+	if size < m.Min {
+		size = m.Min
+	}
+	if m.Max > 0 && size > m.Max {
+		size = m.Max
+	}
+	return size
+}
+
+// Config drives a generation run.
+type Config struct {
+	// Rate is the aggregate sending rate in elements/second across all
+	// clients (the paper's sending_rate). Each client injects at
+	// Rate/len(clients) to its local server.
+	Rate float64
+	// Duration is how long clients keep adding (the paper: 50 s).
+	Duration time.Duration
+	// Sizes describes element sizes; zero value uses ArbitrumSizes.
+	Sizes SizeModel
+	// Tick batches injection bookkeeping: each client converts its rate
+	// into ⌈rate·tick⌉-element bursts per tick, which keeps the event count
+	// manageable at 6-figure rates without changing per-second totals.
+	Tick time.Duration
+	// FullPayloads creates real signed payloads (Full mode deployments).
+	FullPayloads bool
+}
+
+// Generator injects the workload into a deployment.
+type Generator struct {
+	cfg Config
+	d   *core.Deployment
+	rec *metrics.Recorder
+
+	injected uint64
+	rejected uint64
+	done     bool
+}
+
+// New creates a generator for the deployment; rec may be nil.
+func New(d *core.Deployment, rec *metrics.Recorder, cfg Config) *Generator {
+	if cfg.Sizes == (SizeModel{}) {
+		cfg.Sizes = ArbitrumSizes()
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 10 * time.Millisecond
+	}
+	return &Generator{cfg: cfg, d: d, rec: rec}
+}
+
+// Start schedules the injection. Clients add elements from virtual time 0
+// until cfg.Duration, then the generator drains the servers' collectors.
+func (g *Generator) Start() {
+	s := g.d.Sim
+	perClient := g.cfg.Rate / float64(len(g.d.Clients))
+	for i := range g.d.Clients {
+		i := i
+		// Stagger client start within one tick to avoid lockstep bursts.
+		offset := time.Duration(s.Rand().Int63n(int64(g.cfg.Tick) + 1))
+		var carry float64
+		var tick func()
+		tick = func() {
+			if s.Now() >= g.cfg.Duration {
+				return
+			}
+			carry += perClient * g.cfg.Tick.Seconds()
+			n := int(carry)
+			carry -= float64(n)
+			for k := 0; k < n; k++ {
+				g.injectOne(i)
+			}
+			s.After(g.cfg.Tick, tick)
+		}
+		s.At(offset, tick)
+	}
+	s.At(g.cfg.Duration, func() {
+		g.done = true
+		g.d.Drain()
+	})
+}
+
+func (g *Generator) injectOne(i int) {
+	cl := g.d.Clients[i]
+	srv := g.d.Servers[i]
+	size := g.cfg.Sizes.Sample(g.d.Sim.Rand())
+	var e *wire.Element
+	if g.cfg.FullPayloads {
+		plen := size - wire.ElementHeaderSize - 64 // header + ed25519 signature
+		if plen < 1 {
+			plen = 1
+		}
+		payload := make([]byte, plen)
+		g.d.Sim.Rand().Read(payload)
+		e = cl.NewElement(payload)
+	} else {
+		e = cl.NewModeledElement(size)
+	}
+	e.InjectedAt = int64(g.d.Sim.Now())
+	if err := srv.Add(e); err != nil {
+		g.rejected++
+		return
+	}
+	g.injected++
+	if g.rec != nil {
+		g.rec.Injected(e)
+	}
+}
+
+// Injected returns how many elements were accepted by servers.
+func (g *Generator) Injected() uint64 { return g.injected }
+
+// Rejected returns how many adds the servers refused.
+func (g *Generator) Rejected() uint64 { return g.rejected }
+
+// Done reports whether the injection window has closed.
+func (g *Generator) Done() bool { return g.done }
