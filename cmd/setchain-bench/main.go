@@ -5,20 +5,30 @@
 //
 //	setchain-bench -exp all            # everything (minutes at -scale 1)
 //	setchain-bench -exp fig1 -scale 0.2
+//	setchain-bench -exp perf -json BENCH_pr1.json
 //	setchain-bench -list
 //
 // Experiments: table1, table2, fig1, fig2left, fig2right, fig3a, fig3b,
-// fig3c, fig4, fig5a, fig5b, fig5c, d1, all.
+// fig3c, fig4, fig5a, fig5b, fig5c, d1, perf, all.
 //
 // -scale shrinks sending rates and windows proportionally (saturation
 // relationships against the fixed ledger/CPU capacities are preserved for
 // rates near or above the ceilings; use 1 for the paper's exact workloads).
+//
+// -workers caps the study executor's worker pool (default GOMAXPROCS);
+// independent study cells run concurrently, each simulation still
+// single-threaded and deterministic. -json FILE writes a machine-readable
+// baseline (per-experiment wall time plus the perf probe's metrics) so the
+// perf trajectory can be committed as BENCH_*.json and compared across
+// changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -47,13 +57,49 @@ var experiments = []struct {
 	{"fig5b", "Fig. 5b: commit times vs number of servers", runFig5b},
 	{"fig5c", "Fig. 5c: commit times vs network delay", runFig5c},
 	{"d1", "Appendix D.1: analytical throughput table", runD1},
+	{"perf", "perf probe: simulator speedup on the Fig. 4 workload", runPerf},
+}
+
+// expRecord is one experiment's entry in the -json baseline.
+type expRecord struct {
+	Name        string             `json:"name"`
+	WallSeconds float64            `json:"wall_seconds"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// baseline is the -json output document.
+type baseline struct {
+	GoVersion   string      `json:"go_version"`
+	GOOS        string      `json:"goos"`
+	GOARCH      string      `json:"goarch"`
+	CPUs        int         `json:"cpus"`
+	Workers     int         `json:"workers"`
+	Scale       float64     `json:"scale"`
+	Experiments []expRecord `json:"experiments"`
+}
+
+var currentRecord *expRecord
+
+// recordMetric attaches a metric to the experiment currently running; a
+// no-op when -json is not in effect.
+func recordMetric(name string, v float64) {
+	if currentRecord == nil {
+		return
+	}
+	if currentRecord.Metrics == nil {
+		currentRecord.Metrics = make(map[string]float64)
+	}
+	currentRecord.Metrics[name] = v
 }
 
 func main() {
 	exp := flag.String("exp", "", "experiment to run (or 'all')")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (rates and send windows)")
 	list := flag.Bool("list", false, "list experiments")
+	workers := flag.Int("workers", 0, "study executor workers (0 = GOMAXPROCS)")
+	jsonOut := flag.String("json", "", "write a JSON perf baseline to this file")
 	flag.Parse()
+	harness.SetWorkers(*workers)
 
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
@@ -66,20 +112,84 @@ func main() {
 		}
 		return
 	}
+	doc := baseline{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Workers:   harness.Workers(),
+		Scale:     *scale,
+	}
 	found := false
 	for _, e := range experiments {
 		if *exp == "all" || *exp == e.name {
 			found = true
+			doc.Experiments = append(doc.Experiments, expRecord{Name: e.name})
+			currentRecord = &doc.Experiments[len(doc.Experiments)-1]
 			t0 := time.Now()
 			fmt.Printf("==> %s — %s (scale %.2g)\n\n", e.name, e.desc, *scale)
 			e.run(*scale)
-			fmt.Printf("\n[%s done in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+			wall := time.Since(t0)
+			currentRecord.WallSeconds = wall.Seconds()
+			currentRecord = nil
+			fmt.Printf("\n[%s done in %v]\n\n", e.name, wall.Round(time.Millisecond))
 		}
 	}
 	if !found {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal baseline: %v\n", err)
+			os.Exit(1)
+		}
+		blob = append(blob, '\n')
+		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("baseline written to %s\n", *jsonOut)
+	}
+}
+
+// runPerf measures the simulator's speedup — virtual seconds simulated per
+// wall-clock second — on the Fig. 4 workload (Hashchain c=100, 1,250 el/s),
+// the same cell BenchmarkAblationVirtualTime uses, plus a parallel sweep of
+// that cell across the worker pool to expose executor scaling. Committed
+// BENCH_*.json files track these numbers across changes.
+func runPerf(scale float64) {
+	sc := harness.Scenario{Spec: harness.SpecHash100, Rate: 1250, Scale: scale}
+
+	start := time.Now()
+	res := harness.Run(sc)
+	wall := time.Since(start).Seconds()
+	virtual := res.Scenario.Horizon.Seconds()
+	if wall > 0 {
+		recordMetric("virtual_s_per_wall_s", virtual/wall)
+		recordMetric("events_per_wall_s", float64(res.Events)/wall)
+	}
+	recordMetric("events", float64(res.Events))
+	recordMetric("single_run_wall_s", wall)
+	fmt.Printf("single cell: %.0f virtual s in %.3f wall s  =>  %.0f virtual_s/wall_s, %d events\n",
+		virtual, wall, virtual/wall, res.Events)
+
+	const sweepCells = 4
+	cells := make([]harness.Scenario, sweepCells)
+	for i := range cells {
+		cells[i] = sc
+	}
+	start = time.Now()
+	harness.RunMany(cells)
+	sweepWall := time.Since(start).Seconds()
+	if sweepWall > 0 {
+		recordMetric("sweep_cells", sweepCells)
+		recordMetric("sweep_wall_s", sweepWall)
+		recordMetric("sweep_speedup_vs_serial", sweepCells*wall/sweepWall)
+	}
+	fmt.Printf("%d-cell sweep on %d workers: %.3f wall s (%.2fx vs serial estimate)\n",
+		sweepCells, harness.Workers(), sweepWall, sweepCells*wall/sweepWall)
 }
 
 func runTable1(float64) {

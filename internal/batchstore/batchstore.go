@@ -15,7 +15,7 @@ import (
 
 // Store holds batches by hash for one server.
 type Store struct {
-	byHash map[string]*wire.Batch
+	byHash map[wire.Digest]*wire.Batch
 
 	// Stats.
 	registered uint64
@@ -25,13 +25,13 @@ type Store struct {
 
 // New returns an empty store.
 func New() *Store {
-	return &Store{byHash: make(map[string]*wire.Batch)}
+	return &Store{byHash: make(map[wire.Digest]*wire.Batch)}
 }
 
 // Register saves a batch under its hash (Register_batch in the paper).
 // Re-registering the same hash is a no-op.
 func (s *Store) Register(hash []byte, b *wire.Batch) {
-	key := wire.HashKey(hash)
+	key := wire.DigestOf(hash)
 	if _, ok := s.byHash[key]; ok {
 		return
 	}
@@ -42,7 +42,7 @@ func (s *Store) Register(hash []byte, b *wire.Batch) {
 // Get returns the batch for a hash, or nil (the paper's
 // hash_to_batch[h] lookup).
 func (s *Store) Get(hash []byte) *wire.Batch {
-	b, ok := s.byHash[wire.HashKey(hash)]
+	b, ok := s.byHash[wire.DigestOf(hash)]
 	if ok {
 		s.hits++
 	} else {
@@ -53,7 +53,7 @@ func (s *Store) Get(hash []byte) *wire.Batch {
 
 // Has reports whether the hash is registered without touching hit counters.
 func (s *Store) Has(hash []byte) bool {
-	_, ok := s.byHash[wire.HashKey(hash)]
+	_, ok := s.byHash[wire.DigestOf(hash)]
 	return ok
 }
 

@@ -267,6 +267,9 @@ type Node struct {
 
 	futureMsgs []any // buffered messages for heights beyond the current one
 
+	keyBuf  []byte // scratch for blockID hashing, reused across calls
+	signBuf []byte // scratch for vote/proposal sign bytes, reused across calls
+
 	// Stats.
 	roundsUsed    uint64
 	catchupReqs   uint64
@@ -437,15 +440,15 @@ func (n *Node) timeout(base time.Duration, round int32) time.Duration {
 }
 
 func (n *Node) blockID(height uint64, round int32, proposer wire.NodeID, txs []*wire.Tx) string {
-	var hdr [24]byte
-	binary.LittleEndian.PutUint64(hdr[0:], height)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(round))
-	binary.LittleEndian.PutUint64(hdr[16:], uint64(proposer))
-	chunks := [][]byte{hdr[:]}
+	buf := n.keyBuf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, height)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(round))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(proposer))
 	for _, tx := range txs {
-		chunks = append(chunks, []byte(tx.Key()))
+		buf = tx.AppendKey(buf)
 	}
-	return string(n.suite.HashData(chunks...))
+	n.keyBuf = buf
+	return string(n.suite.HashData(buf))
 }
 
 func (n *Node) propose(r int32) {
@@ -471,21 +474,31 @@ func (n *Node) propose(r int32) {
 	n.handleProposal(p) // self-delivery
 }
 
+// proposalSignBytes renders a proposal's canonical signing bytes into the
+// node's scratch buffer. The result is only valid until the next
+// *SignBytes call — callers hand it straight to Sign/Verify, which do not
+// retain their message argument.
 func (n *Node) proposalSignBytes(p *Proposal) []byte {
-	buf := make([]byte, 0, 64)
+	buf := n.signBuf[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, p.Height)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Round))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Proposer))
-	return append(buf, p.BlockID...)
+	buf = append(buf, p.BlockID...)
+	n.signBuf = buf
+	return buf
 }
 
+// voteSignBytes renders a vote's canonical signing bytes into the node's
+// scratch buffer; same lifetime contract as proposalSignBytes.
 func (n *Node) voteSignBytes(v *Vote) []byte {
-	buf := make([]byte, 0, 64)
+	buf := n.signBuf[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, v.Height)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Round))
 	buf = append(buf, byte(v.Type))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(v.Voter))
-	return append(buf, v.BlockID...)
+	buf = append(buf, v.BlockID...)
+	n.signBuf = buf
+	return buf
 }
 
 // Receive is the network entry point for all consensus payloads.

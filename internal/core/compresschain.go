@@ -53,7 +53,7 @@ func (c *compressAlg) flushBatch(b *wire.Batch) {
 	s.chargeCPU(time.Duration(raw)*s.opts.Costs.CompressPerByte + s.opts.Costs.PerBatch)
 	tx := &wire.Tx{Kind: wire.TxCompressedBatch, Compressed: cb}
 	if s.rec != nil {
-		s.rec.RegisterCarrier(tx.Key(), b.Elements)
+		s.rec.RegisterCarrier(tx.MapKey(), b.Elements)
 	}
 	s.node.Append(tx)
 }

@@ -2,11 +2,13 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"time"
 
 	"repro/internal/batchstore"
 	"repro/internal/codec"
 	"repro/internal/collector"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -43,13 +45,15 @@ type hashchainAlg struct {
 	s   *Server
 	seq uint64 // request ids
 
-	signers      map[string]map[wire.NodeID]bool
-	signedOwn    map[string]bool
-	contentDone  map[string]bool
-	proofsDone   map[string]bool // proofs extracted at ledger time (once)
-	validElems   map[string][]*wire.Element
-	consolidated map[string]bool
-	fetches      map[string]*fetchState
+	hashBuf []byte // scratch for modeled batch hashing, reused across flushes
+
+	signers      map[wire.Digest]map[wire.NodeID]bool
+	signedOwn    map[wire.Digest]bool
+	contentDone  map[wire.Digest]bool
+	proofsDone   map[wire.Digest]bool // proofs extracted at ledger time (once)
+	validElems   map[wire.Digest][]*wire.Element
+	consolidated map[wire.Digest]bool
+	fetches      map[wire.Digest]*fetchState
 
 	// Stats.
 	requestsSent   uint64
@@ -64,20 +68,20 @@ type fetchState struct {
 	tried      map[wire.NodeID]bool
 	inFlight   bool
 	reqID      uint64
-	timer      interface{ Cancel() }
+	timer      sim.Event
 	waiters    []func(ok bool)
 }
 
 func newHashchainAlg(s *Server) *hashchainAlg {
 	h := &hashchainAlg{
 		s:            s,
-		signers:      make(map[string]map[wire.NodeID]bool),
-		signedOwn:    make(map[string]bool),
-		contentDone:  make(map[string]bool),
-		proofsDone:   make(map[string]bool),
-		validElems:   make(map[string][]*wire.Element),
-		consolidated: make(map[string]bool),
-		fetches:      make(map[string]*fetchState),
+		signers:      make(map[wire.Digest]map[wire.NodeID]bool),
+		signedOwn:    make(map[wire.Digest]bool),
+		contentDone:  make(map[wire.Digest]bool),
+		proofsDone:   make(map[wire.Digest]bool),
+		validElems:   make(map[wire.Digest][]*wire.Element),
+		consolidated: make(map[wire.Digest]bool),
+		fetches:      make(map[wire.Digest]*fetchState),
 	}
 	s.coll = collector.New(s.sim, s.opts.CollectorLimit, s.opts.CollectorTimeout, h.flushBatch)
 	s.store = batchstore.New()
@@ -89,20 +93,25 @@ func (h *hashchainAlg) onAdd(e *wire.Element) { h.s.coll.AddElement(e) }
 func (h *hashchainAlg) drain() { h.s.coll.Flush() }
 
 // batchHash computes the canonical hash of a batch: over its full encoding
-// in Full mode, over element ids and proof keys in Modeled mode (same
-// 64-byte digest shape either way).
+// in Full mode, over element ids and packed proof identities in Modeled
+// mode (same 64-byte digest shape either way). The modeled encoding is
+// fixed-width per item, so it is unambiguous without separators, and it is
+// built in a scratch buffer reused across flushes.
 func (h *hashchainAlg) batchHash(b *wire.Batch) []byte {
 	if h.s.opts.Mode == Full {
 		return h.s.suite.HashData(codec.EncodeBatch(b))
 	}
-	chunks := make([][]byte, 0, len(b.Elements)+len(b.Proofs))
+	buf := h.hashBuf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(b.Elements)))
 	for _, e := range b.Elements {
-		chunks = append(chunks, e.ID[:])
+		buf = append(buf, e.ID[:]...)
 	}
 	for _, p := range b.Proofs {
-		chunks = append(chunks, []byte(p.Key()))
+		buf = binary.LittleEndian.AppendUint64(buf, p.Epoch)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(p.Signer))
 	}
-	return h.s.suite.HashData(chunks...)
+	h.hashBuf = buf
+	return h.s.suite.HashData(buf)
 }
 
 // flushBatch is the isReady(batch) handler (pseudocode lines 12-21).
@@ -110,7 +119,7 @@ func (h *hashchainAlg) flushBatch(b *wire.Batch) {
 	s := h.s
 	s.injectBogus(b)
 	hash := h.batchHash(b)
-	key := wire.HashKey(hash)
+	key := wire.DigestOf(hash)
 	s.store.Register(hash, b)
 	if s.opts.Light && s.opts.SharedStore != nil {
 		s.opts.SharedStore.Register(hash, b)
@@ -132,7 +141,7 @@ func (h *hashchainAlg) flushBatch(b *wire.Batch) {
 	hb := &wire.HashBatch{Hash: hash, Sig: s.suite.Sign(s.key, hash), Signer: s.id}
 	tx := &wire.Tx{Kind: wire.TxHashBatch, HashBatch: hb}
 	if s.rec != nil {
-		s.rec.RegisterCarrier(tx.Key(), b.Elements)
+		s.rec.RegisterCarrier(tx.MapKey(), b.Elements)
 	}
 	s.node.Append(tx)
 }
@@ -185,7 +194,7 @@ func (h *hashchainAlg) processTx(txs []*wire.Tx, i int, done func()) {
 			next()
 			return
 		}
-		key := wire.HashKey(hb.Hash)
+		key := wire.DigestOf(hb.Hash)
 		set := h.signers[key]
 		if set == nil {
 			set = make(map[wire.NodeID]bool)
@@ -227,7 +236,7 @@ func (h *hashchainAlg) processTx(txs []*wire.Tx, i int, done func()) {
 	})
 }
 
-func (h *hashchainAlg) retryUntilRecovered(key string, hash []byte, next func()) {
+func (h *hashchainAlg) retryUntilRecovered(key wire.Digest, hash []byte, next func()) {
 	if h.s.store.Has(hash) {
 		h.withContent(key, hash, next)
 		return
@@ -251,7 +260,7 @@ func (h *hashchainAlg) retryUntilRecovered(key string, hash []byte, next func())
 
 // lightProcess handles a hash-batch with hash-reversal disabled: co-sign
 // without verification; batch content comes from the shared oracle.
-func (h *hashchainAlg) lightProcess(hb *wire.HashBatch, key string, next func()) {
+func (h *hashchainAlg) lightProcess(hb *wire.HashBatch, key wire.Digest, next func()) {
 	s := h.s
 	if !s.store.Has(hb.Hash) && s.opts.SharedStore != nil {
 		if b := s.opts.SharedStore.Get(hb.Hash); b != nil {
@@ -293,7 +302,7 @@ func (h *hashchainAlg) lightProcess(hb *wire.HashBatch, key string, next func())
 // because a server's own batches have their elements validated at Add time
 // (contentDone is pre-set at flush) while their proofs still only count
 // once a block carries the batch's hash.
-func (h *hashchainAlg) extractProofsOnce(key string, b *wire.Batch) {
+func (h *hashchainAlg) extractProofsOnce(key wire.Digest, b *wire.Batch) {
 	if h.proofsDone[key] {
 		return
 	}
@@ -305,7 +314,7 @@ func (h *hashchainAlg) extractProofsOnce(key string, b *wire.Batch) {
 
 // withContent runs content extraction (once), co-signing (once) and the
 // consolidation check for a locally available batch, then continues.
-func (h *hashchainAlg) withContent(key string, hash []byte, next func()) {
+func (h *hashchainAlg) withContent(key wire.Digest, hash []byte, next func()) {
 	s := h.s
 	b := s.store.Get(hash)
 	if b == nil { // raced with nothing: treat as recovery failure
@@ -341,7 +350,7 @@ func (h *hashchainAlg) withContent(key string, hash []byte, next func()) {
 	})
 }
 
-func (h *hashchainAlg) cosignAndConsolidate(key string, hash []byte, next func()) {
+func (h *hashchainAlg) cosignAndConsolidate(key wire.Digest, hash []byte, next func()) {
 	s := h.s
 	if !h.signedOwn[key] {
 		h.signedOwn[key] = true
@@ -355,7 +364,7 @@ func (h *hashchainAlg) cosignAndConsolidate(key string, hash []byte, next func()
 
 // maybeConsolidate performs epoch consolidation once f+1 distinct servers
 // have signed the hash on the ledger and the content is known.
-func (h *hashchainAlg) maybeConsolidate(key string) {
+func (h *hashchainAlg) maybeConsolidate(key wire.Digest) {
 	s := h.s
 	if h.consolidated[key] || !h.contentDone[key] {
 		return
@@ -382,7 +391,7 @@ func (h *hashchainAlg) maybeConsolidate(key string) {
 
 // prefetch starts recovery for a hash first seen in the mempool.
 func (h *hashchainAlg) prefetch(hash []byte, signer wire.NodeID) {
-	key := wire.HashKey(hash)
+	key := wire.DigestOf(hash)
 	if h.fetches[key] != nil || h.consolidated[key] {
 		return
 	}
@@ -397,7 +406,7 @@ func (h *hashchainAlg) fetch(hash []byte, hint wire.NodeID, cb func(ok bool)) {
 		cb(true)
 		return
 	}
-	key := wire.HashKey(hash)
+	key := wire.DigestOf(hash)
 	st := h.fetches[key]
 	if st == nil {
 		st = &fetchState{hash: hash, tried: make(map[wire.NodeID]bool)}
@@ -457,10 +466,8 @@ func (h *hashchainAlg) tryNextCandidate(st *fetchState) {
 // resolveFetch completes a successful recovery: the batch is registered,
 // so the state can be discarded entirely.
 func (h *hashchainAlg) resolveFetch(st *fetchState, ok bool) {
-	delete(h.fetches, wire.HashKey(st.hash))
-	if st.timer != nil {
-		st.timer.Cancel()
-	}
+	delete(h.fetches, wire.DigestOf(st.hash))
+	st.timer.Cancel()
 	waiters := st.waiters
 	st.waiters = nil
 	for _, w := range waiters {
@@ -477,9 +484,7 @@ func (h *hashchainAlg) resolveFetch(st *fetchState, ok bool) {
 // The post-quorum recovery path resets the tried set explicitly.
 func (h *hashchainAlg) failFetch(st *fetchState) {
 	st.inFlight = false
-	if st.timer != nil {
-		st.timer.Cancel()
-	}
+	st.timer.Cancel()
 	waiters := st.waiters
 	st.waiters = nil
 	for _, w := range waiters {
@@ -519,15 +524,13 @@ func (h *hashchainAlg) serveRequest(from wire.NodeID, req *batchstore.Request) {
 
 func (h *hashchainAlg) handleResponse(from wire.NodeID, resp *batchstore.Response) {
 	s := h.s
-	key := wire.HashKey(resp.Hash)
+	key := wire.DigestOf(resp.Hash)
 	st := h.fetches[key]
 	if st == nil || !st.inFlight || st.reqID != resp.ReqID {
 		return // stale or unsolicited
 	}
 	st.inFlight = false
-	if st.timer != nil {
-		st.timer.Cancel()
-	}
+	st.timer.Cancel()
 	if !resp.Found || resp.Batch == nil {
 		h.tryNextCandidate(st)
 		return

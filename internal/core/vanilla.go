@@ -24,7 +24,7 @@ type vanillaAlg struct {
 func (v *vanillaAlg) onAdd(e *wire.Element) {
 	tx := &wire.Tx{Kind: wire.TxElement, Element: e}
 	if v.s.rec != nil {
-		v.s.rec.RegisterCarrier(tx.Key(), []*wire.Element{e})
+		v.s.rec.RegisterCarrier(tx.MapKey(), []*wire.Element{e})
 	}
 	v.s.node.Append(tx)
 }

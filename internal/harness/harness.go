@@ -136,8 +136,18 @@ type Result struct {
 func Run(sc Scenario) *Result {
 	// Large scenarios allocate multi-GB transient state (per-server
 	// the_set over millions of elements); reclaim the previous run's
-	// before building the next deployment.
+	// before building the next deployment. RunMany's workers skip the
+	// forced collection (it is global and would serialize them) and call
+	// runScenario directly.
 	runtime.GC()
+	return runScenario(sc)
+}
+
+// runScenario is the side-effect-free core of Run: it builds a fresh
+// simulator and deployment from the scenario alone, so concurrent calls
+// never share state and a scenario's result is a pure function of its
+// configuration (see RunMany).
+func runScenario(sc Scenario) *Result {
 	sc = sc.withDefaults()
 	s := sim.New(sc.Seed)
 	n := sc.Servers

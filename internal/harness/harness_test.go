@@ -11,6 +11,19 @@ import (
 // Harness tests run at reduced scale: rates and send windows shrink
 // together, which preserves saturation relationships against the ledger
 // capacity (a rate above an algorithm's ceiling remains above it).
+//
+// Under -short the slowest stress tests shrink their send window further
+// (sending rates stay put, so every above-ceiling relationship the
+// assertions rely on is preserved) and the whole package finishes in a few
+// seconds.
+
+// shortWindow returns the full window, or the reduced one under -short.
+func shortWindow(full, short time.Duration) time.Duration {
+	if testing.Short() {
+		return short
+	}
+	return full
+}
 
 func TestAlgSpecLabels(t *testing.T) {
 	cases := map[string]AlgSpec{
@@ -60,9 +73,11 @@ func TestRunUnstressedReachesFullEfficiency(t *testing.T) {
 
 func TestRunStressedVanillaShowsLowEfficiency(t *testing.T) {
 	// 5000 el/s against Vanilla's ~955 el/s capacity: the paper's Fig. 3a
-	// "very low efficiency" case. Scaled to a 15 s window.
-	res := Run(Scenario{Spec: SpecVanilla, Rate: 5000, SendFor: 15 * time.Second,
-		Horizon: 45 * time.Second})
+	// "very low efficiency" case. Scaled to a 15 s window (8 s under
+	// -short; the 5x overload makes the assertion insensitive to it).
+	send := shortWindow(15*time.Second, 8*time.Second)
+	res := Run(Scenario{Spec: SpecVanilla, Rate: 5000, SendFor: send,
+		Horizon: 3 * send})
 	if res.Eff50 > 0.3 {
 		t.Fatalf("stressed Vanilla eff@send-end = %v, want << 1", res.Eff50)
 	}
@@ -75,7 +90,8 @@ func TestAlgorithmOrderingUnderLoad(t *testing.T) {
 	// The paper's central result at 5,000 el/s (Fig. 1 left / Table 2):
 	// Vanilla << Compresschain << Hashchain in average throughput to the
 	// end of sending.
-	common := Scenario{Rate: 5000, SendFor: 20 * time.Second, Horizon: 60 * time.Second}
+	send := shortWindow(20*time.Second, 10*time.Second)
+	common := Scenario{Rate: 5000, SendFor: send, Horizon: 3 * send}
 	v := common
 	v.Spec = SpecVanilla
 	c := common
@@ -99,10 +115,11 @@ func TestAlgorithmOrderingUnderLoad(t *testing.T) {
 func TestNetworkDelayReducesEfficiency(t *testing.T) {
 	// Fig. 3c: adding 100 ms to every message slows consensus and reduces
 	// efficiency under stress.
-	base := Run(Scenario{Spec: SpecCompress100, Rate: 5000, SendFor: 15 * time.Second,
-		Horizon: 45 * time.Second})
-	delayed := Run(Scenario{Spec: SpecCompress100, Rate: 5000, SendFor: 15 * time.Second,
-		Horizon: 45 * time.Second, NetworkDelay: 100 * time.Millisecond})
+	send := shortWindow(15*time.Second, 8*time.Second)
+	base := Run(Scenario{Spec: SpecCompress100, Rate: 5000, SendFor: send,
+		Horizon: 3 * send})
+	delayed := Run(Scenario{Spec: SpecCompress100, Rate: 5000, SendFor: send,
+		Horizon: 3 * send, NetworkDelay: 100 * time.Millisecond})
 	if delayed.Eff100 >= base.Eff100 {
 		t.Fatalf("delay did not hurt efficiency: %v vs %v", delayed.Eff100, base.Eff100)
 	}
@@ -118,10 +135,11 @@ func TestHashchainCeilingAblation(t *testing.T) {
 	// 40k el/s is 2x the ~20k validation ceiling but well below the Light
 	// variant's ~150k ceiling, so the gap is unambiguous even with a short
 	// send window.
-	heavy := Run(Scenario{Spec: SpecHash500, Rate: 40000, SendFor: 15 * time.Second,
-		Horizon: 60 * time.Second})
+	send := shortWindow(15*time.Second, 8*time.Second)
+	heavy := Run(Scenario{Spec: SpecHash500, Rate: 40000, SendFor: send,
+		Horizon: 4 * send})
 	light := Run(Scenario{Spec: AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true},
-		Rate: 40000, SendFor: 15 * time.Second, Horizon: 60 * time.Second})
+		Rate: 40000, SendFor: send, Horizon: 4 * send})
 	if light.Eff50 <= heavy.Eff50 {
 		t.Fatalf("Light (%.2f) not better than full (%.2f) at 25k el/s",
 			light.Eff50, heavy.Eff50)

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// resultFingerprint serializes everything a study consumes from a Result
+// (pointers and the Recorder excluded) so runs can be compared bytewise.
+func resultFingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	b, err := json.Marshal(struct {
+		Scenario   Scenario
+		Injected   uint64
+		Committed  uint64
+		Eff50      float64
+		Eff75      float64
+		Eff100     float64
+		AvgTput    float64
+		Series     any
+		CommitFrac map[int]time.Duration
+		Analytical float64
+		Blocks     int
+		Events     uint64
+	}{res.Scenario, res.Injected, res.Committed, res.Eff50, res.Eff75,
+		res.Eff100, res.AvgTput, res.Series, res.CommitFrac, res.Analytical,
+		res.Blocks, res.Events})
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// The parallel executor must yield byte-identical results to the
+// sequential path for a fixed seed, regardless of worker count.
+func TestRunManyMatchesSequential(t *testing.T) {
+	scs := []Scenario{
+		{Spec: SpecHash100, Rate: 600, SendFor: 8 * time.Second, Horizon: 30 * time.Second, Seed: 7},
+		{Spec: SpecCompress100, Rate: 600, SendFor: 8 * time.Second, Horizon: 30 * time.Second, Seed: 7},
+		{Spec: SpecVanilla, Rate: 300, SendFor: 8 * time.Second, Horizon: 30 * time.Second, Seed: 7},
+		{Spec: SpecHash100, Rate: 600, SendFor: 8 * time.Second, Horizon: 30 * time.Second, Seed: 8},
+	}
+	sequential := make([][]byte, len(scs))
+	for i, sc := range scs {
+		sequential[i] = resultFingerprint(t, Run(sc))
+	}
+	for _, workers := range []int{1, 4} {
+		SetWorkers(workers)
+		parallel := RunMany(scs)
+		SetWorkers(0)
+		if len(parallel) != len(scs) {
+			t.Fatalf("workers=%d: results = %d, want %d", workers, len(parallel), len(scs))
+		}
+		for i, res := range parallel {
+			if got := resultFingerprint(t, res); string(got) != string(sequential[i]) {
+				t.Fatalf("workers=%d: cell %d diverges from sequential run\nseq: %s\npar: %s",
+					workers, i, sequential[i], got)
+			}
+		}
+	}
+}
+
+// Re-running the same scenario must be deterministic (the simulator draws
+// randomness only from the scenario seed), and different seeds must
+// actually change the event schedule.
+func TestRunDeterministicPerSeed(t *testing.T) {
+	sc := Scenario{Spec: SpecHash100, Rate: 500, SendFor: 6 * time.Second,
+		Horizon: 20 * time.Second, Seed: 42}
+	a, b := Run(sc), Run(sc)
+	if a.Events != b.Events || a.Committed != b.Committed {
+		t.Fatalf("same seed diverged: events %d vs %d, committed %d vs %d",
+			a.Events, b.Events, a.Committed, b.Committed)
+	}
+	sc.Seed = 43
+	c := Run(sc)
+	if c.Events == a.Events && c.Committed == a.Committed && c.Blocks == a.Blocks {
+		t.Log("seed change produced identical counters (possible but unlikely); not failing")
+	}
+}
+
+func TestWorkersOverride(t *testing.T) {
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(0)
+	if Workers() < 1 {
+		t.Fatalf("default Workers() = %d, want >= 1", Workers())
+	}
+	t.Setenv("SETCHAIN_WORKERS", "5")
+	if Workers() != 5 {
+		t.Fatalf("Workers() = %d with SETCHAIN_WORKERS=5", Workers())
+	}
+}
+
+// The automatic worker count must shrink for memory-heavy cells (a
+// paper-scale cell materializes millions of elements) and stay at the
+// CPU-derived default for small ones; explicit overrides bypass the cap.
+func TestAutoWorkersCapsMemoryHeavyCells(t *testing.T) {
+	small := []Scenario{{Spec: SpecHash100, Rate: 500, SendFor: 10 * time.Second}}
+	if got := autoWorkers(small); got < 1 {
+		t.Fatalf("autoWorkers(small) = %d, want >= 1", got)
+	}
+	// 150k el/s for 50 s = 7.5M elements: above the whole in-flight
+	// budget, so only one such cell may run at a time.
+	huge := []Scenario{
+		{Spec: SpecHash500, Rate: 150000},
+		{Spec: SpecHash500, Rate: 150000},
+	}
+	if got := autoWorkers(huge); got != 1 {
+		t.Fatalf("autoWorkers(huge) = %d, want 1 (7.5M-element cells exceed the budget)", got)
+	}
+}

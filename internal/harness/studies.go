@@ -52,18 +52,18 @@ func Fig1Panels() []Fig1Panel {
 
 // RunFig1Panel runs every algorithm of one panel (10 servers, no extra
 // delay) and returns the results in spec order. scale shrinks the run for
-// quick passes (1 = paper scale).
+// quick passes (1 = paper scale). Cells run on the RunMany worker pool.
 func RunFig1Panel(p Fig1Panel, scale float64) []*Result {
-	var out []*Result
+	var cells []Scenario
 	for _, spec := range p.Specs {
-		out = append(out, Run(Scenario{
+		cells = append(cells, Scenario{
 			Spec:    spec,
 			Rate:    p.Rate,
 			Horizon: time.Duration(float64(p.Horizon) * scaleOr1(scale)),
 			Scale:   scale,
-		}))
+		})
 	}
-	return out
+	return RunMany(cells)
 }
 
 func scaleOr1(s float64) float64 {
@@ -88,23 +88,35 @@ type LimitResult struct {
 // decompression+validation plus Vanilla.
 func RunLimitStudy(scale float64) []LimitResult {
 	scale = scaleOr1(scale)
-	mk := func(label string, spec AlgSpec, rate float64) LimitResult {
-		return LimitResult{Label: label, Result: Run(Scenario{
-			Spec:    spec,
-			Rate:    rate,
+	type cell struct {
+		label string
+		spec  AlgSpec
+		rate  float64
+	}
+	cells := []cell{
+		{"Hashchain c=500 (hash-reversal on)", SpecHash500, 25000},
+		{"Hashchain Light c=500 (no hash-reversal)",
+			AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true}, 150000},
+		{"Compresschain c=500", SpecCompress500, 25000},
+		{"Compresschain Light c=500",
+			AlgSpec{Alg: core.Compresschain, Collector: 500, Light: true}, 25000},
+		{"Vanilla", SpecVanilla, 5000},
+	}
+	scs := make([]Scenario, len(cells))
+	for i, c := range cells {
+		scs[i] = Scenario{
+			Spec:    c.spec,
+			Rate:    c.rate,
 			Horizon: time.Duration(90 * float64(time.Second) * scale),
 			Scale:   scale,
-		})}
+		}
 	}
-	return []LimitResult{
-		mk("Hashchain c=500 (hash-reversal on)", SpecHash500, 25000),
-		mk("Hashchain Light c=500 (no hash-reversal)",
-			AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true}, 150000),
-		mk("Compresschain c=500", SpecCompress500, 25000),
-		mk("Compresschain Light c=500",
-			AlgSpec{Alg: core.Compresschain, Collector: 500, Light: true}, 25000),
-		mk("Vanilla", SpecVanilla, 5000),
+	results := RunMany(scs)
+	out := make([]LimitResult, len(cells))
+	for i, c := range cells {
+		out[i] = LimitResult{Label: c.label, Result: results[i]}
 	}
+	return out
 }
 
 // EfficiencyCell is one bar group of Fig. 3: a variant's efficiency at the
@@ -120,43 +132,63 @@ func EfficiencySpecs() []AlgSpec {
 	return []AlgSpec{SpecVanilla, SpecCompress100, SpecCompress500, SpecHash100, SpecHash500}
 }
 
+// runEfficiencyGrid fans one Fig. 3 grid (scenarios × EfficiencySpecs)
+// across the worker pool and labels each cell with the varied parameter.
+func runEfficiencyGrid(scs []Scenario, params []string, specs []AlgSpec) []EfficiencyCell {
+	results := RunMany(scs)
+	out := make([]EfficiencyCell, len(scs))
+	for i, res := range results {
+		out[i] = EfficiencyCell{Spec: specs[i], Param: params[i], Result: res}
+	}
+	return out
+}
+
 // RunEfficiencyVsRate reproduces Fig. 3a: efficiency for sending rates
 // 500/1000/5000/10000 el/s (10 servers, no delay).
 func RunEfficiencyVsRate(scale float64) []EfficiencyCell {
-	var out []EfficiencyCell
+	var scs []Scenario
+	var params []string
+	var specs []AlgSpec
 	for _, rate := range []float64{500, 1000, 5000, 10000} {
 		for _, spec := range EfficiencySpecs() {
-			res := Run(Scenario{Spec: spec, Rate: rate, Scale: scale})
-			out = append(out, EfficiencyCell{Spec: spec, Param: fmt.Sprintf("%.0f el/s", rate), Result: res})
+			scs = append(scs, Scenario{Spec: spec, Rate: rate, Scale: scale})
+			params = append(params, fmt.Sprintf("%.0f el/s", rate))
+			specs = append(specs, spec)
 		}
 	}
-	return out
+	return runEfficiencyGrid(scs, params, specs)
 }
 
 // RunEfficiencyVsServers reproduces Fig. 3b: efficiency for 4/7/10 servers
 // (10,000 el/s, no delay).
 func RunEfficiencyVsServers(scale float64) []EfficiencyCell {
-	var out []EfficiencyCell
+	var scs []Scenario
+	var params []string
+	var specs []AlgSpec
 	for _, n := range []int{4, 7, 10} {
 		for _, spec := range EfficiencySpecs() {
-			res := Run(Scenario{Spec: spec, Rate: 10000, Servers: n, Scale: scale})
-			out = append(out, EfficiencyCell{Spec: spec, Param: fmt.Sprintf("%d servers", n), Result: res})
+			scs = append(scs, Scenario{Spec: spec, Rate: 10000, Servers: n, Scale: scale})
+			params = append(params, fmt.Sprintf("%d servers", n))
+			specs = append(specs, spec)
 		}
 	}
-	return out
+	return runEfficiencyGrid(scs, params, specs)
 }
 
 // RunEfficiencyVsDelay reproduces Fig. 3c: efficiency for network delays
 // 0/30/100 ms (10 servers, 10,000 el/s).
 func RunEfficiencyVsDelay(scale float64) []EfficiencyCell {
-	var out []EfficiencyCell
+	var scs []Scenario
+	var params []string
+	var specs []AlgSpec
 	for _, delay := range []time.Duration{0, 30 * time.Millisecond, 100 * time.Millisecond} {
 		for _, spec := range EfficiencySpecs() {
-			res := Run(Scenario{Spec: spec, Rate: 10000, NetworkDelay: delay, Scale: scale})
-			out = append(out, EfficiencyCell{Spec: spec, Param: delay.String(), Result: res})
+			scs = append(scs, Scenario{Spec: spec, Rate: 10000, NetworkDelay: delay, Scale: scale})
+			params = append(params, delay.String())
+			specs = append(specs, spec)
 		}
 	}
-	return out
+	return runEfficiencyGrid(scs, params, specs)
 }
 
 // LatencyCurves holds Fig. 4's five CDFs for one algorithm.
@@ -175,14 +207,19 @@ func RunLatencyStudy(scale float64) []LatencyCurves {
 		{Alg: core.Compresschain, Collector: 100},
 		{Alg: core.Hashchain, Collector: 100},
 	}
-	var out []LatencyCurves
-	for _, spec := range specs {
-		res := Run(Scenario{
+	scs := make([]Scenario, len(specs))
+	for i, spec := range specs {
+		scs[i] = Scenario{
 			Spec:  spec,
 			Rate:  1250,
 			Level: metrics.LevelStages,
 			Scale: scale,
-		})
+		}
+	}
+	results := RunMany(scs)
+	var out []LatencyCurves
+	for i, spec := range specs {
+		res := results[i]
 		lc := LatencyCurves{
 			Spec:   spec,
 			Stages: make(map[metrics.Stage][]time.Duration),

@@ -194,7 +194,7 @@ func (c *Cluster) VerifyConsistentChains() error {
 						i, j, h+1, len(a[h].Txs), len(b[h].Txs))
 				}
 				for k := range a[h].Txs {
-					if a[h].Txs[k].Key() != b[h].Txs[k].Key() {
+					if a[h].Txs[k].MapKey() != b[h].Txs[k].MapKey() {
 						return fmt.Errorf("nodes %d/%d diverge at height %d tx %d",
 							i, j, h+1, k)
 					}

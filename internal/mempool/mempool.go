@@ -55,10 +55,14 @@ type Mempool struct {
 	check CheckFunc
 	enter EnterFunc
 
-	txs   map[string]*wire.Tx
-	order []string            // admission order for reaping
-	seen  map[string]struct{} // pool ∪ committed: blocks re-admission
-	bytes int
+	// entries is pool ∪ committed in one map: a non-nil value is a pooled
+	// transaction, a nil value is a tombstone for a committed (or evicted)
+	// key that must never re-enter. One map instead of a pool map plus a
+	// seen-set halves the hot-path key inserts.
+	entries map[wire.TxKey]*wire.Tx
+	order   []wire.TxKey // admission order for reaping
+	live    int          // entries with non-nil value
+	bytes   int
 
 	pendingGossip []*wire.Tx
 	flushArmed    bool
@@ -90,9 +94,8 @@ func New(id wire.NodeID, s *sim.Simulator, net *netsim.Network, peers []wire.Nod
 		cfg:   cfg,
 		check: check,
 		enter: enter,
-		txs:   make(map[string]*wire.Tx),
-		seen:  make(map[string]struct{}),
-		peers: peers,
+		entries: make(map[wire.TxKey]*wire.Tx),
+		peers:   peers,
 	}
 }
 
@@ -116,8 +119,8 @@ func (m *Mempool) ReceiveGossip(msg *GossipMsg) {
 }
 
 func (m *Mempool) add(tx *wire.Tx, gossip bool) bool {
-	key := tx.Key()
-	if _, ok := m.seen[key]; ok {
+	key := tx.MapKey()
+	if _, ok := m.entries[key]; ok {
 		m.duplicate++
 		return false
 	}
@@ -125,12 +128,12 @@ func (m *Mempool) add(tx *wire.Tx, gossip bool) bool {
 		m.rejected++
 		return false
 	}
-	if len(m.txs) >= m.cfg.MaxTxs || m.bytes+tx.WireSize() > m.cfg.MaxBytes {
+	if m.live >= m.cfg.MaxTxs || m.bytes+tx.WireSize() > m.cfg.MaxBytes {
 		m.dropped++
 		return false
 	}
-	m.seen[key] = struct{}{}
-	m.txs[key] = tx
+	m.entries[key] = tx
+	m.live++
 	m.order = append(m.order, key)
 	m.bytes += tx.WireSize()
 	m.admitted++
@@ -174,8 +177,8 @@ func (m *Mempool) Reap(maxBytes int) []*wire.Tx {
 	var out []*wire.Tx
 	total := 0
 	for _, key := range m.order {
-		tx, ok := m.txs[key]
-		if !ok {
+		tx := m.entries[key]
+		if tx == nil {
 			continue
 		}
 		sz := tx.WireSize()
@@ -195,43 +198,42 @@ func (m *Mempool) Reap(maxBytes int) []*wire.Tx {
 // transactions can never re-enter this pool.
 func (m *Mempool) RemoveCommitted(txs []*wire.Tx) {
 	for _, tx := range txs {
-		key := tx.Key()
+		key := tx.MapKey()
 		// A committed tx may have never reached this pool (e.g. it was
-		// proposed by another node before gossip arrived). Mark it seen so
+		// proposed by another node before gossip arrived). Tombstone it so
 		// late gossip is dropped.
-		m.seen[key] = struct{}{}
-		if old, ok := m.txs[key]; ok {
+		if old := m.entries[key]; old != nil {
 			m.bytes -= old.WireSize()
-			delete(m.txs, key)
+			m.live--
 		}
+		m.entries[key] = nil
 	}
 	m.compact()
 }
 
 func (m *Mempool) compact() {
 	// Rebuild order only when it is mostly tombstones to keep Reap cheap.
-	if len(m.order) < 64 || len(m.txs)*2 > len(m.order) {
+	if len(m.order) < 64 || m.live*2 > len(m.order) {
 		return
 	}
-	live := m.order[:0]
+	liveOrder := m.order[:0]
 	for _, key := range m.order {
-		if _, ok := m.txs[key]; ok {
-			live = append(live, key)
+		if m.entries[key] != nil {
+			liveOrder = append(liveOrder, key)
 		}
 	}
-	m.order = live
+	m.order = liveOrder
 }
 
 // Size returns the number of pooled transactions.
-func (m *Mempool) Size() int { return len(m.txs) }
+func (m *Mempool) Size() int { return m.live }
 
 // Bytes returns the pooled byte total.
 func (m *Mempool) Bytes() int { return m.bytes }
 
 // Has reports whether the pool currently holds the given tx key.
-func (m *Mempool) Has(key string) bool {
-	_, ok := m.txs[key]
-	return ok
+func (m *Mempool) Has(key wire.TxKey) bool {
+	return m.entries[key] != nil
 }
 
 // Stats returns counters (admitted, rejected by CheckTx, dropped by

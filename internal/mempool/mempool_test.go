@@ -263,10 +263,10 @@ func TestHas(t *testing.T) {
 	tx := elemTx(1, 10)
 	s.After(0, func() { p.AddTx(tx) })
 	s.Run()
-	if !p.Has(tx.Key()) {
+	if !p.Has(tx.MapKey()) {
 		t.Fatal("Has = false for pooled tx")
 	}
-	if p.Has("nope") {
+	if p.Has(wire.TxKey{}) {
 		t.Fatal("Has = true for unknown key")
 	}
 }

@@ -98,7 +98,7 @@ type Recorder struct {
 	proofSigners map[uint64]map[wire.NodeID]bool
 	epochDone    map[uint64]bool
 
-	txs   map[string]*txStageRec
+	txs   map[wire.TxKey]*txStageRec
 	elems map[wire.ElementID]*elemRec
 
 	lastCommit time.Duration
@@ -118,7 +118,7 @@ func New(s *sim.Simulator, level Level, n, f int, observer wire.NodeID) *Recorde
 		epochIDs:     make(map[uint64][]wire.ElementID),
 		proofSigners: make(map[uint64]map[wire.NodeID]bool),
 		epochDone:    make(map[uint64]bool),
-		txs:          make(map[string]*txStageRec),
+		txs:          make(map[wire.TxKey]*txStageRec),
 		elems:        make(map[wire.ElementID]*elemRec),
 	}
 }
@@ -146,7 +146,7 @@ func (r *Recorder) Injected(e *wire.Element) {
 // Compresschain/Hashchain). The origin server calls this when it creates
 // the transaction. Stage timestamps recorded for the transaction then apply
 // to all carried elements.
-func (r *Recorder) RegisterCarrier(txKey string, elems []*wire.Element) {
+func (r *Recorder) RegisterCarrier(txKey wire.TxKey, elems []*wire.Element) {
 	if r.level < LevelStages {
 		return
 	}
@@ -169,7 +169,7 @@ func (r *Recorder) TxEnteredMempool(node wire.NodeID, tx *wire.Tx) {
 	if r.level < LevelStages {
 		return
 	}
-	rec := r.txs[tx.Key()]
+	rec := r.txs[tx.MapKey()]
 	if rec == nil {
 		return // not a carrier of tracked elements (e.g. proof tx)
 	}
@@ -197,7 +197,7 @@ func (r *Recorder) BlockCommitted(node wire.NodeID, b *wire.Block) {
 	}
 	now := r.sim.Now()
 	for _, tx := range b.Txs {
-		if rec := r.txs[tx.Key()]; rec != nil && rec.ledger == unset {
+		if rec := r.txs[tx.MapKey()]; rec != nil && rec.ledger == unset {
 			rec.ledger = now
 		}
 	}

@@ -169,7 +169,7 @@ func TestStageTracking(t *testing.T) {
 	tx := &wire.Tx{Kind: wire.TxElement, Element: e}
 	s.After(0, func() {
 		r.Injected(e)
-		r.RegisterCarrier(tx.Key(), []*wire.Element{e})
+		r.RegisterCarrier(tx.MapKey(), []*wire.Element{e})
 	})
 	s.After(100*time.Millisecond, func() { r.TxEnteredMempool(0, tx) })
 	s.After(200*time.Millisecond, func() { r.TxEnteredMempool(1, tx) }) // f+1 = 2
@@ -211,7 +211,7 @@ func TestStageCDFOmitsUnreached(t *testing.T) {
 	s.After(0, func() {
 		r.Injected(e1)
 		r.Injected(e2)
-		r.RegisterCarrier(tx1.Key(), []*wire.Element{e1})
+		r.RegisterCarrier(tx1.MapKey(), []*wire.Element{e1})
 		r.TxEnteredMempool(0, tx1)
 	})
 	s.Run()
@@ -230,7 +230,7 @@ func TestThroughputLevelSkipsStageWork(t *testing.T) {
 	e := elem(1)
 	tx := &wire.Tx{Kind: wire.TxElement, Element: e}
 	r.Injected(e)
-	r.RegisterCarrier(tx.Key(), []*wire.Element{e})
+	r.RegisterCarrier(tx.MapKey(), []*wire.Element{e})
 	r.TxEnteredMempool(0, tx)
 	lats, _ := r.LatencyCDF(StageFirstMempool)
 	if lats != nil {

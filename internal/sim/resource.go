@@ -31,7 +31,7 @@ func (r *Resource) Name() string { return r.name }
 // Submit enqueues a job of the given cost; done fires when the job
 // completes (after all previously submitted jobs). A nil done is allowed
 // when only the time occupancy matters. Negative costs are treated as zero.
-func (r *Resource) Submit(cost time.Duration, done func()) *Event {
+func (r *Resource) Submit(cost time.Duration, done func()) Event {
 	if cost < 0 {
 		cost = 0
 	}

@@ -49,10 +49,175 @@ func TestCancel(t *testing.T) {
 	if fired {
 		t.Fatal("canceled event fired")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	ev.Cancel()
-	var nilEv *Event
-	nilEv.Cancel()
+	var zero Event
+	zero.Cancel()
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New(1)
+	var evs []Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, s.After(time.Duration(i+1)*time.Second, func() {}))
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("pending = %d, want 10", s.Pending())
+	}
+	// Cancel from the middle, the head, and the tail of the queue.
+	for _, i := range []int{5, 0, 9} {
+		evs[i].Cancel()
+	}
+	if s.Pending() != 7 {
+		t.Fatalf("pending after 3 cancels = %d, want 7 (canceled events must leave the queue)", s.Pending())
+	}
+	for _, i := range []int{5, 0, 9} {
+		if evs[i].Scheduled() {
+			t.Fatalf("event %d still scheduled after cancel", i)
+		}
+	}
+	fired := 0
+	s.Run()
+	if fired = int(s.Executed()); fired != 7 {
+		t.Fatalf("executed = %d, want 7", fired)
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("pending after run = %d, want 0", s.Pending())
+	}
+}
+
+// A handle whose event already fired must stay inert even after its
+// internal slot is recycled for a newer event.
+func TestStaleHandleCannotCancelRecycledSlot(t *testing.T) {
+	s := New(1)
+	first := s.After(time.Second, func() {})
+	s.Run() // first fires; its slot returns to the free list
+	fired := false
+	second := s.After(time.Second, func() { fired = true })
+	first.Cancel() // stale: must not touch the recycled slot
+	if !second.Scheduled() {
+		t.Fatal("stale Cancel removed a newer event occupying the recycled slot")
+	}
+	s.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// Canceling some same-time events must not disturb FIFO order among the
+// survivors.
+func TestCancelPreservesSameTimeFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	var evs []Event
+	for i := 0; i < 20; i++ {
+		i := i
+		evs = append(evs, s.At(time.Second, func() { got = append(got, i) }))
+	}
+	for i := 0; i < 20; i += 3 {
+		evs[i].Cancel()
+	}
+	s.Run()
+	prev := -1
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("canceled event %d fired", v)
+		}
+		if v <= prev {
+			t.Fatalf("FIFO order broken after cancels: %v", got)
+		}
+		prev = v
+	}
+	if len(got) != 13 {
+		t.Fatalf("survivors = %d, want 13", len(got))
+	}
+}
+
+// Property: with an arbitrary schedule/cancel interleaving, surviving
+// events fire in exact (time, insertion) order.
+func TestQuickCancelOrderInvariant(t *testing.T) {
+	f := func(ops []uint16) bool {
+		s := New(11)
+		type rec struct {
+			at  time.Duration
+			seq int
+		}
+		var fired []rec
+		var live []Event
+		seq := 0
+		for _, op := range ops {
+			if op%5 == 0 && len(live) > 0 {
+				idx := int(op/5) % len(live)
+				live[idx].Cancel()
+				live = append(live[:idx], live[idx+1:]...)
+				continue
+			}
+			d := time.Duration(op%1000) * time.Millisecond
+			n := seq
+			seq++
+			live = append(live, s.After(d, func() {
+				fired = append(fired, rec{at: s.Now(), seq: n})
+			}))
+		}
+		s.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at < fired[i-1].at {
+				return false
+			}
+			if fired[i].at == fired[i-1].at && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The schedule/pop path must not allocate (amortized): event state is
+// recycled through the slab free list and the heap holds plain values.
+// The closure passed to After is hoisted outside the measured region so
+// only kernel allocations are counted.
+func TestScheduleRunAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm up the slab and heap capacity.
+	for i := 0; i < 4096; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			s.After(time.Duration(i%16)*time.Microsecond, fn)
+		}
+		s.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/pop path allocates %.2f/run, want 0", avg)
+	}
+}
+
+// Cancel must also be allocation-free.
+func TestCancelAllocFree(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	for i := 0; i < 1024; i++ {
+		s.After(time.Duration(i)*time.Microsecond, fn)
+	}
+	s.Run()
+	avg := testing.AllocsPerRun(200, func() {
+		evs := [8]Event{}
+		for i := range evs {
+			evs[i] = s.After(time.Duration(i)*time.Microsecond, fn)
+		}
+		for i := range evs {
+			evs[i].Cancel()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("schedule/cancel path allocates %.2f/run, want 0", avg)
+	}
 }
 
 func TestScheduleInPastRunsNow(t *testing.T) {

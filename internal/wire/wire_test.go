@@ -166,15 +166,85 @@ func TestVerifyEpochProof(t *testing.T) {
 	}
 }
 
-// Property: hash keys are injective on digests (string conversion is exact).
-func TestQuickHashKeyInjective(t *testing.T) {
+// Property: interned digests are injective on inputs up to DigestSize bytes
+// (real digests are exactly 64 bytes; the explicit length keeps shorter
+// test hashes from colliding with their zero-padded extensions).
+func TestQuickDigestInjective(t *testing.T) {
 	f := func(a, b []byte) bool {
-		if bytes.Equal(a, b) {
-			return HashKey(a) == HashKey(b)
+		if len(a) > DigestSize {
+			a = a[:DigestSize]
 		}
-		return HashKey(a) != HashKey(b)
+		if len(b) > DigestSize {
+			b = b[:DigestSize]
+		}
+		if bytes.Equal(a, b) {
+			return DigestOf(a) == DigestOf(b)
+		}
+		return DigestOf(a) != DigestOf(b)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: Digest round-trips the interned bytes.
+func TestDigestBytesRoundTrip(t *testing.T) {
+	for _, in := range [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 64), bytes.Repeat([]byte{7}, 100)} {
+		d := DigestOf(in)
+		want := in
+		if len(want) > DigestSize {
+			want = want[:DigestSize]
+		}
+		if !bytes.Equal(d.Bytes(), want) {
+			t.Fatalf("DigestOf(%d bytes).Bytes() = %d bytes, want %d", len(in), len(d.Bytes()), len(want))
+		}
+	}
+}
+
+// MapKey must discriminate exactly as the diagnostic string Key does.
+func TestMapKeysDistinct(t *testing.T) {
+	e := &Element{Size: 1}
+	e.ID[0] = 9
+	h64 := bytes.Repeat([]byte{3}, 64)
+	txs := []*Tx{
+		{Kind: TxElement, Element: e},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 1, Signer: 2}},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 1, Signer: 3}},
+		{Kind: TxProof, Proof: &EpochProof{Epoch: 2, Signer: 2}},
+		{Kind: TxCompressedBatch, Compressed: &CompressedBatch{Origin: 1, Seq: 1, CompSize: 10}},
+		{Kind: TxCompressedBatch, Compressed: &CompressedBatch{Origin: 1, Seq: 2, CompSize: 10}},
+		{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: []byte("h"), Signer: 1}},
+		{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: []byte("h"), Signer: 2}},
+		{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: h64, Signer: 2}},
+	}
+	seenMap := make(map[TxKey]int)
+	seenAppend := make(map[string]int)
+	for i, tx := range txs {
+		k := tx.MapKey()
+		if j, dup := seenMap[k]; dup {
+			t.Fatalf("tx %d MapKey collides with tx %d", i, j)
+		}
+		seenMap[k] = i
+		ak := string(tx.AppendKey(nil))
+		if j, dup := seenAppend[ak]; dup {
+			t.Fatalf("tx %d AppendKey collides with tx %d", i, j)
+		}
+		seenAppend[ak] = i
+	}
+}
+
+// MapKey and the mempool dedup path must not allocate.
+func TestMapKeyAllocFree(t *testing.T) {
+	e := &Element{Size: 438}
+	e.ID[0] = 1
+	tx := &Tx{Kind: TxElement, Element: e}
+	hb := &Tx{Kind: TxHashBatch, HashBatch: &HashBatch{Hash: bytes.Repeat([]byte{5}, 64), Signer: 3}}
+	m := make(map[TxKey]struct{})
+	avg := testing.AllocsPerRun(200, func() {
+		m[tx.MapKey()] = struct{}{}
+		m[hb.MapKey()] = struct{}{}
+	})
+	if avg != 0 {
+		t.Fatalf("MapKey/map insert allocates %.2f/op, want 0", avg)
 	}
 }
