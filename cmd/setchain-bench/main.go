@@ -1,15 +1,24 @@
 // Command setchain-bench regenerates every table and figure of "Setchain
-// Algorithms for Blockchain Scalability" on the virtual-time simulator.
+// Algorithms for Blockchain Scalability" on the virtual-time simulator,
+// and runs arbitrary declarative scenario files.
 //
 // Usage:
 //
 //	setchain-bench -exp all            # everything (minutes at -scale 1)
 //	setchain-bench -exp fig1 -scale 0.2
 //	setchain-bench -exp perf -json BENCH_pr1.json
+//	setchain-bench -spec examples/specs/fig4.json
+//	setchain-bench -spec examples/specs/wan.json -matrix servers=4,8,16
+//	setchain-bench -exp fig4 -matrix delay=0s,30ms,100ms
 //	setchain-bench -list
 //
-// Experiments: table1, table2, fig1, fig2left, fig2right, fig3a, fig3b,
-// fig3c, fig4, fig5a, fig5b, fig5c, d1, perf, all.
+// Experiments come from the internal/spec registry (rendered into
+// EXPERIMENTS.md by cmd/specdoc); -list prints each entry's description.
+// -spec runs a JSON scenario document (one object or an array; see
+// examples/specs/README.md), and -matrix crosses the cells over extra
+// parameter values — repeat the flag for more axes. -matrix composes with
+// a single -exp entry too, replacing the entry's custom rendering with
+// the generic results table (it does not combine with -exp all).
 //
 // -scale shrinks sending rates and windows proportionally (saturation
 // relationships against the fixed ledger/CPU capacities are preserved for
@@ -36,28 +45,29 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/spec"
 	"repro/internal/textplot"
 )
 
-var experiments = []struct {
-	name string
-	desc string
-	run  func(scale float64)
-}{
-	{"table1", "Table 1: evaluation parameter grid", runTable1},
-	{"table2", "Table 2: avg throughput to 50 s for Fig. 1's panels", runTable2},
-	{"fig1", "Fig. 1: throughput over time, three panels", runFig1},
-	{"fig2left", "Fig. 2 (left): highest throughput / Light ablations", runFig2Left},
-	{"fig2right", "Fig. 2 (right): analytical throughput vs block size", runFig2Right},
-	{"fig3a", "Fig. 3a: efficiency vs sending rate", runFig3a},
-	{"fig3b", "Fig. 3b: efficiency vs number of servers", runFig3b},
-	{"fig3c", "Fig. 3c: efficiency vs network delay", runFig3c},
-	{"fig4", "Fig. 4: latency CDFs to five stages", runFig4},
-	{"fig5a", "Fig. 5a: commit times vs sending rate", runFig5a},
-	{"fig5b", "Fig. 5b: commit times vs number of servers", runFig5b},
-	{"fig5c", "Fig. 5c: commit times vs network delay", runFig5c},
-	{"d1", "Appendix D.1: analytical throughput table", runD1},
-	{"perf", "perf probe: simulator speedup on the Fig. 4 workload", runPerf},
+// runners maps registry entries to their figure-specific renderers.
+// Entries without a runner (future registry additions) fall back to the
+// generic results table, so registering an experiment is enough to make
+// it runnable. The -list order is the registry's.
+var runners = map[string]func(scale float64){
+	"table1":    runTable1,
+	"table2":    runTable2,
+	"fig1":      runFig1,
+	"fig2left":  runFig2Left,
+	"fig2right": runFig2Right,
+	"fig3a":     runFig3a,
+	"fig3b":     runFig3b,
+	"fig3c":     runFig3c,
+	"fig4":      runFig4,
+	"fig5a":     runFig5a,
+	"fig5b":     runFig5b,
+	"fig5c":     runFig5c,
+	"d1":        runD1,
+	"perf":      runPerf,
 }
 
 // expRecord is one experiment's entry in the -json baseline.
@@ -92,26 +102,50 @@ func recordMetric(name string, v float64) {
 	currentRecord.Metrics[name] = v
 }
 
+// matrixFlags accumulates repeated -matrix overrides into axes.
+type matrixFlags []spec.Axis
+
+func (m *matrixFlags) String() string {
+	var parts []string
+	for _, ax := range *m {
+		parts = append(parts, ax.Key+"="+strings.Join(ax.Values, ","))
+	}
+	return strings.Join(parts, " ")
+}
+
+func (m *matrixFlags) Set(arg string) error {
+	ax, err := spec.ParseAxis(arg)
+	if err != nil {
+		return err
+	}
+	*m = append(*m, ax)
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "", "experiment to run (or 'all')")
+	exp := flag.String("exp", "", "registry experiment to run (or 'all'; see -list)")
+	specFile := flag.String("spec", "", "run a JSON scenario document instead of a registry experiment")
+	var matrix matrixFlags
+	flag.Var(&matrix, "matrix", "cross the cells over extra values, e.g. servers=4,8,16 (repeatable)")
 	scale := flag.Float64("scale", 1.0, "workload scale factor (rates and send windows)")
-	list := flag.Bool("list", false, "list experiments")
+	list := flag.Bool("list", false, "list experiments with their descriptions")
 	workers := flag.Int("workers", 0, "study executor workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON perf baseline to this file")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 
-	if *list || *exp == "" {
-		fmt.Println("experiments:")
-		for _, e := range experiments {
-			fmt.Printf("  %-9s %s\n", e.name, e.desc)
-		}
-		fmt.Println("  all       run everything")
-		if *exp == "" {
+	if *list || (*exp == "" && *specFile == "") {
+		printCatalog()
+		if *exp == "" && *specFile == "" && !*list {
 			os.Exit(2)
 		}
 		return
 	}
+	if *exp != "" && *specFile != "" {
+		fmt.Fprintln(os.Stderr, "-exp and -spec are mutually exclusive")
+		os.Exit(2)
+	}
+
 	doc := baseline{
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
@@ -120,25 +154,56 @@ func main() {
 		Workers:   harness.Workers(),
 		Scale:     *scale,
 	}
-	found := false
-	for _, e := range experiments {
-		if *exp == "all" || *exp == e.name {
-			found = true
-			doc.Experiments = append(doc.Experiments, expRecord{Name: e.name})
-			currentRecord = &doc.Experiments[len(doc.Experiments)-1]
-			t0 := time.Now()
-			fmt.Printf("==> %s — %s (scale %.2g)\n\n", e.name, e.desc, *scale)
-			e.run(*scale)
-			wall := time.Since(t0)
-			currentRecord.WallSeconds = wall.Seconds()
-			currentRecord = nil
-			fmt.Printf("\n[%s done in %v]\n\n", e.name, wall.Round(time.Millisecond))
+	timed := func(name, desc string, run func()) {
+		doc.Experiments = append(doc.Experiments, expRecord{Name: name})
+		currentRecord = &doc.Experiments[len(doc.Experiments)-1]
+		t0 := time.Now()
+		fmt.Printf("==> %s — %s (scale %.2g)\n\n", name, desc, *scale)
+		run()
+		wall := time.Since(t0)
+		currentRecord.WallSeconds = wall.Seconds()
+		currentRecord = nil
+		fmt.Printf("\n[%s done in %v]\n\n", name, wall.Round(time.Millisecond))
+	}
+
+	switch {
+	case *specFile != "":
+		cells, err := spec.LoadFile(*specFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
 		}
+		if cells, err = spec.Expand(cells, matrix...); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		timed(*specFile, "scenario document", func() {
+			if err := runCells(cells, *scale); err != nil {
+				fmt.Fprintf(os.Stderr, "%v\n", err)
+				os.Exit(1)
+			}
+		})
+	case *exp == "all":
+		if len(matrix) > 0 {
+			fmt.Fprintln(os.Stderr, "-matrix needs a single experiment (or -spec), not -exp all")
+			os.Exit(2)
+		}
+		for _, e := range spec.All() {
+			e := e
+			timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, *scale) })
+		}
+	default:
+		e, ok := spec.Get(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
+			if sugg := spec.SuggestEntries(*exp); len(sugg) > 0 {
+				fmt.Fprintf(os.Stderr, "did you mean: %s?\n", strings.Join(sugg, ", "))
+			}
+			os.Exit(2)
+		}
+		timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, *scale) })
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", *exp)
-		os.Exit(2)
-	}
+
 	if *jsonOut != "" {
 		blob, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
@@ -152,6 +217,121 @@ func main() {
 		}
 		fmt.Printf("baseline written to %s\n", *jsonOut)
 	}
+}
+
+// printCatalog renders the rich -list: every registry entry with the
+// figure it reproduces and its description.
+func printCatalog() {
+	fmt.Println("experiments (from the internal/spec registry; full catalog in EXPERIMENTS.md):")
+	for _, e := range spec.All() {
+		cells := "analytic"
+		if n := len(e.Cells); n > 0 {
+			cells = fmt.Sprintf("%d cells", n)
+		}
+		fmt.Printf("\n  %-10s %s — %s (%s)\n", e.Name, e.Figure, e.Title, cells)
+		for _, line := range wrap(e.Description, 66) {
+			fmt.Printf("             %s\n", line)
+		}
+	}
+	fmt.Printf("\n  %-10s run everything\n", "all")
+	fmt.Println("\nor run a scenario document: -spec file.json [-matrix servers=4,8,16]")
+}
+
+// wrap breaks s into lines at most width runes wide on word boundaries.
+func wrap(s string, width int) []string {
+	var lines []string
+	var cur string
+	for _, w := range strings.Fields(s) {
+		switch {
+		case cur == "":
+			cur = w
+		case len(cur)+1+len(w) <= width:
+			cur += " " + w
+		default:
+			lines = append(lines, cur)
+			cur = w
+		}
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+// runEntry runs one registry entry: through its figure-specific renderer
+// when it has one and no matrix overrides are in play, otherwise through
+// the generic results table over its (expanded) cells.
+func runEntry(e spec.Entry, matrix []spec.Axis, scale float64) {
+	if run, ok := runners[e.Name]; ok && len(matrix) == 0 {
+		run(scale)
+		return
+	}
+	if len(e.Cells) == 0 {
+		fmt.Fprintf(os.Stderr, "entry %q is analytic: it has no cells to expand with -matrix\n", e.Name)
+		os.Exit(2)
+	}
+	cells, err := spec.Expand(e.Cells, matrix...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	if err := runCells(cells, scale); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runCells executes expanded scenario cells on the worker pool and prints
+// the generic results table.
+func runCells(cells []spec.ScenarioSpec, scale float64) error {
+	results, err := harness.RunSpecs(cells, scale)
+	if err != nil {
+		return err
+	}
+	stages := false
+	for _, c := range cells {
+		if c.Metrics == spec.MetricsStages {
+			stages = true
+		}
+	}
+	headers := []string{"Scenario", "n", "Rate el/s", "Delay",
+		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic"}
+	if stages {
+		headers = append(headers, "p50 commit", "p99 commit")
+	}
+	t := &textplot.Table{Title: "Scenario results", Headers: headers}
+	for i, res := range results {
+		sc := res.Scenario
+		label := cells[i].Label()
+		if cells[i].Group != "" {
+			label = cells[i].Group + " " + label
+		}
+		row := []string{
+			label,
+			fmt.Sprintf("%d", sc.Servers),
+			fmt.Sprintf("%.0f", sc.Rate),
+			sc.NetworkDelay.String(),
+			fmt.Sprintf("%d", res.Injected),
+			fmt.Sprintf("%d", res.Committed),
+			fmt.Sprintf("%.0f", res.AvgTput),
+			fmt.Sprintf("%.3f", res.Eff100),
+			fmt.Sprintf("%.0f", res.Analytical),
+		}
+		if stages {
+			p50, p99 := "-", "-"
+			if res.Recorder != nil {
+				if lats, _ := res.Recorder.LatencyCDF(metrics.StageCommitted); len(lats) > 0 {
+					p50 = metrics.LatencyQuantile(lats, 0.50).Round(time.Millisecond).String()
+					p99 = metrics.LatencyQuantile(lats, 0.99).Round(time.Millisecond).String()
+				}
+			}
+			row = append(row, p50, p99)
+		}
+		t.AddRow(row...)
+		recordMetric(fmt.Sprintf("cell%d_avg_tput", i), res.AvgTput)
+	}
+	fmt.Print(t.Render())
+	return nil
 }
 
 // runPerf measures the simulator's speedup — virtual seconds simulated per

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// The runner map must stay aligned with the registry: a runner keyed by a
+// name the registry does not know is unreachable, and an analytic entry
+// (no cells) without a figure-specific runner could never execute.
+func TestRunnersAlignWithRegistry(t *testing.T) {
+	for name := range runners {
+		if _, ok := spec.Get(name); !ok {
+			t.Errorf("runner %q has no registry entry", name)
+		}
+	}
+	for _, e := range spec.All() {
+		if _, ok := runners[e.Name]; !ok && len(e.Cells) == 0 {
+			t.Errorf("analytic entry %q has neither cells nor a runner", e.Name)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	lines := wrap("one two three four", 9)
+	want := []string{"one two", "three", "four"}
+	if len(lines) != len(want) {
+		t.Fatalf("wrap = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("wrap = %v, want %v", lines, want)
+		}
+	}
+	if got := wrap("", 10); len(got) != 0 {
+		t.Fatalf("wrap(empty) = %v", got)
+	}
+}

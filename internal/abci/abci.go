@@ -5,6 +5,8 @@
 // (FinalizeBlock). The Setchain server logic lives entirely behind this
 // interface, exactly as the paper implements its algorithms "in the ABCI
 // section of the ledger".
+//
+// See DESIGN.md §4 (ledger stack).
 package abci
 
 import "repro/internal/wire"

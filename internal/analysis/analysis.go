@@ -11,6 +11,8 @@
 //	Vanilla:        Tv = R · (C − n·lp) / le
 //	Compresschain:  Tc = R · (c−n) · C / ℓ,  ℓ = ((c−n)·le + n·lp) / r
 //	Hashchain:      Th = R · (c−n) · C / (n·lh)
+//
+// See DESIGN.md §2 (layering).
 package analysis
 
 import "fmt"

@@ -7,6 +7,8 @@
 // bottleneck: every server must obtain every batch to validate it before
 // co-signing its hash, so batches flow origin → n-1 peers for every
 // collector flush.
+//
+// See DESIGN.md §3 (algorithm refinements).
 package batchstore
 
 import (

@@ -12,6 +12,8 @@
 //   - wrong-batch responses (hash mismatch, detected by requesters);
 //   - corrupt epoch-proofs (signatures over wrong hashes, rejected by
 //     servers and clients).
+//
+// See DESIGN.md §3 (algorithm refinements).
 package byzantine
 
 import (

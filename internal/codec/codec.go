@@ -5,6 +5,8 @@
 // length-prefixed, little-endian, and contain no maps, so they are
 // byte-for-byte reproducible — a requirement for hashing batches and
 // epochs consistently across servers.
+//
+// See DESIGN.md §1 (fidelity substitutions).
 package codec
 
 import (

@@ -15,7 +15,7 @@
 //     the codec) is what the evaluation measures. CPU cost of compression
 //     and decompression is charged separately via the cost model.
 //
-// The substitution is documented in DESIGN.md §1.
+// The substitution is documented in DESIGN.md §1 (fidelity substitutions).
 package compressor
 
 import (

@@ -18,6 +18,8 @@
 // Block pacing follows the paper's measured deployment: one block roughly
 // every 1.25 s (block rate ~0.8 blocks/s), enforced as a minimum
 // start-to-start interval between heights.
+//
+// See DESIGN.md §4 (ledger stack).
 package consensus
 
 import (

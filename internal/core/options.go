@@ -3,6 +3,9 @@
 // as replicated applications over the block-based ledger, together with
 // epoch-proofs, the batch collector pipeline, Hashchain's hash-reversal
 // protocol with f+1 consolidation, and the client-side verification logic.
+//
+// See DESIGN.md §1 (the Full/Modeled fidelity modes) and §3 (where the
+// implementation deliberately refines the paper's pseudocode).
 package core
 
 import (

@@ -13,6 +13,8 @@
 // The demonstration state machine is an account-based token ledger; every
 // correct server replaying the same epoch sequence reaches the same state,
 // including the same void set.
+//
+// See DESIGN.md §2 (layering).
 package execution
 
 import (

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/byzantine"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/spec"
+	"repro/internal/workload"
+)
+
+// This file maps the declarative spec layer (internal/spec, DESIGN.md §7)
+// onto the executor's types: a ScenarioSpec — hand-written JSON or a
+// registry cell — becomes a Scenario, and the study functions become thin
+// expansions of registry entries through these helpers.
+
+// ParseAlgorithm maps a spec algorithm name onto the core constant.
+func ParseAlgorithm(name string) (core.Algorithm, error) {
+	switch name {
+	case spec.AlgVanilla:
+		return core.Vanilla, nil
+	case spec.AlgCompresschain:
+		return core.Compresschain, nil
+	case spec.AlgHashchain:
+		return core.Hashchain, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// FromSpec converts a ScenarioSpec into the Scenario the executor runs.
+// The spec is defaulted and validated first, so a sparse spec and its
+// defaulted form produce identical scenarios.
+func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
+	sp = sp.WithDefaults()
+	if err := sp.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	alg, err := ParseAlgorithm(sp.Algorithm)
+	if err != nil {
+		return Scenario{}, err
+	}
+	sc := Scenario{
+		Name:         sp.Name,
+		Spec:         AlgSpec{Alg: alg, Collector: sp.Collector, Light: sp.Light},
+		Servers:      sp.Servers,
+		Rate:         sp.Rate,
+		SendFor:      sp.SendFor.Std(),
+		Horizon:      sp.Horizon.Std(),
+		NetworkDelay: sp.NetworkDelay.Std(),
+		Bandwidth:    sp.Bandwidth,
+		Seed:         sp.Seed,
+		Scale:        sp.Scale,
+	}
+	if sp.Metrics == spec.MetricsStages {
+		sc.Level = metrics.LevelStages
+	}
+	if sp.Crypto == spec.CryptoFull {
+		sc.Mode = core.Full
+	}
+	if w := sp.Workload; w != nil {
+		sc.Sizes = workload.SizeModel{
+			Mean: w.SizeMean, StdDev: w.SizeStdDev,
+			Min: w.SizeMin, Max: w.SizeMax,
+		}
+		sc.Tick = w.Tick.Std()
+	}
+	if b := sp.Byzantine; b != nil {
+		sc.Byzantine = ByzantineCfg{
+			Faulty:      b.Faulty,
+			Behaviors:   append([]string(nil), b.Behaviors...),
+			InjectCount: b.InjectCount,
+		}
+	}
+	return sc, nil
+}
+
+// FromSpecScaled converts the spec and applies a run-time scale factor on
+// top of the spec's own: Scale multiplies (shrinking rate and send window
+// at run time), and an explicitly-set horizon shrinks with it — exactly
+// the scaling rule the study functions have always used. scale 0 means 1.
+func FromSpecScaled(sp spec.ScenarioSpec, scale float64) (Scenario, error) {
+	sc, err := FromSpec(sp)
+	if err != nil {
+		return Scenario{}, err
+	}
+	scale = scaleOr1(scale)
+	sc.Scale *= scale
+	if sc.Horizon != 0 {
+		sc.Horizon = time.Duration(float64(sc.Horizon) * scale)
+	}
+	return sc, nil
+}
+
+// FromSpecs converts a whole scenario document, failing on the first bad
+// cell.
+func FromSpecs(sps []spec.ScenarioSpec, scale float64) ([]Scenario, error) {
+	out := make([]Scenario, len(sps))
+	for i, sp := range sps {
+		sc, err := FromSpecScaled(sp, scale)
+		if err != nil {
+			return nil, fmt.Errorf("cell %d (%s): %w", i, sp.Label(), err)
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// EntryScenarios expands a registry entry into its executable scenarios
+// at the given scale.
+func EntryScenarios(name string, scale float64) ([]Scenario, error) {
+	e, ok := spec.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("no registry entry %q", name)
+	}
+	if len(e.Cells) == 0 {
+		return nil, fmt.Errorf("entry %q is analytic: it has no simulation cells", name)
+	}
+	return FromSpecs(e.Cells, scale)
+}
+
+// mustEntryScenarios expands a compile-time-known registry entry; every
+// registered cell validates (Register panics otherwise), so conversion
+// cannot fail.
+func mustEntryScenarios(name string, scale float64) []Scenario {
+	scs, err := EntryScenarios(name, scale)
+	if err != nil {
+		panic(fmt.Sprintf("harness: registry entry %q: %v", name, err))
+	}
+	return scs
+}
+
+// RunSpecs converts and executes a scenario document on the worker pool,
+// returning results in input order.
+func RunSpecs(sps []spec.ScenarioSpec, scale float64) ([]*Result, error) {
+	scs, err := FromSpecs(sps, scale)
+	if err != nil {
+		return nil, err
+	}
+	return RunMany(scs), nil
+}
+
+// applyByzantine installs the configured fault behaviors on the
+// deployment's highest-indexed servers. Called between Deploy and Start;
+// a zero config is a no-op.
+func applyByzantine(d *core.Deployment, cfg ByzantineCfg) {
+	if cfg.Faulty <= 0 || len(cfg.Behaviors) == 0 {
+		return
+	}
+	var parts []*core.Behavior
+	silent := false
+	for _, name := range cfg.Behaviors {
+		switch name {
+		case spec.BehaviorSilent:
+			silent = true
+		case spec.BehaviorInjectInvalid:
+			n := cfg.InjectCount
+			if n == 0 {
+				n = spec.DefaultInjectCount
+			}
+			parts = append(parts, byzantine.InjectInvalid(n))
+		case spec.BehaviorWithholdBatches:
+			parts = append(parts, byzantine.WithholdBatches())
+		case spec.BehaviorWrongBatches:
+			parts = append(parts, byzantine.WrongBatches())
+		case spec.BehaviorCorruptProofs:
+			parts = append(parts, byzantine.CorruptProofs())
+		default:
+			// Unknown names are caught by spec.Validate before any
+			// scenario reaches the executor.
+			panic(fmt.Sprintf("harness: unknown byzantine behavior %q", name))
+		}
+	}
+	n := len(d.Servers)
+	for i := n - cfg.Faulty; i < n; i++ {
+		if i <= 0 {
+			continue // server 0 is the metrics observer; keep it correct
+		}
+		if len(parts) > 0 {
+			d.Servers[i].SetBehavior(byzantine.Combine(parts...))
+		}
+		if silent {
+			byzantine.Silent(d.Ledger.Net, d.Ledger.Nodes[i].ID, true)
+		}
+	}
+}

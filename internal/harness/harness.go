@@ -3,6 +3,11 @@
 // table and figure: throughput-over-time curves (Fig. 1), the limit study
 // (Fig. 2 left), efficiency bars (Fig. 3), latency CDFs (Fig. 4), the
 // Table 2 averages and the Appendix F commit-time charts (Fig. 5).
+//
+// Scenarios are data: the study functions expand entries of the
+// internal/spec registry into Scenario lists and fan them across the
+// RunMany worker pool. See DESIGN.md §2 (layering), §6 (the parallel
+// executor) and §7 (the spec/registry layer).
 package harness
 
 import (
@@ -17,6 +22,7 @@ import (
 	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/setcrypto"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -67,7 +73,10 @@ func (a AlgSpec) AnalyticalThroughput(n int) float64 {
 }
 
 // Scenario is one experiment cell: an algorithm variant under a workload
-// and deployment configuration (one combination from Table 1).
+// and deployment configuration (one combination from Table 1, or any
+// spec.ScenarioSpec via FromSpec). Zero values select the paper's
+// defaults, so a Scenario built by hand and one decoded from a sparse
+// JSON spec run identically.
 type Scenario struct {
 	Name         string
 	Spec         AlgSpec
@@ -81,6 +90,31 @@ type Scenario struct {
 	// Scale multiplies Rate and SendFor (and leaves ceilings untouched);
 	// used to shrink the largest runs for quick regression passes. 0 = 1.
 	Scale float64
+	// Mode selects crypto fidelity: Modeled (default, the evaluation) or
+	// Full (real ed25519/SHA-512/Deflate over real payloads).
+	Mode core.Mode
+	// Bandwidth overrides per-node egress bandwidth in bytes/second;
+	// 0 keeps netsim's 1 Gbit/s LAN default.
+	Bandwidth float64
+	// Sizes shapes element sizes; the zero value is the paper's Arbitrum
+	// distribution. Tick batches injection bookkeeping (0 = 10 ms).
+	Sizes workload.SizeModel
+	Tick  time.Duration
+	// Byzantine makes the highest-indexed servers faulty.
+	Byzantine ByzantineCfg
+}
+
+// ByzantineCfg configures faulty servers for a scenario. The zero value
+// means all servers are correct. Behavior names are the spec package's
+// (spec.BehaviorSilent etc.); server 0, the metrics observer, is never
+// made faulty.
+type ByzantineCfg struct {
+	// Faulty is how many of the highest-indexed servers misbehave.
+	Faulty int
+	// Behaviors lists the preset fault behaviors every faulty server runs.
+	Behaviors []string
+	// InjectCount is the bogus-element count for "inject-invalid".
+	InjectCount int
 }
 
 func (sc Scenario) withDefaults() Scenario {
@@ -156,23 +190,34 @@ func runScenario(sc Scenario) *Result {
 
 	netCfg := netsim.DefaultLANConfig()
 	netCfg.ExtraDelay = sc.NetworkDelay
+	if sc.Bandwidth > 0 {
+		netCfg.Bandwidth = sc.Bandwidth
+	}
 	opts := core.Options{
 		Algorithm:      sc.Spec.Alg,
-		Mode:           core.Modeled,
+		Mode:           sc.Mode,
 		Light:          sc.Spec.Light,
 		CollectorLimit: sc.Spec.Collector,
 		Costs:          core.PaperCostModel(),
 		F:              f,
 	}
-	d := core.Deploy(s, n, ledger.Config{
+	lcfg := ledger.Config{
 		Net:       netCfg,
 		Consensus: consensus.PaperParams(),
 		Mempool:   mempool.PaperConfig(),
-	}, opts, rec)
+	}
+	if sc.Mode == core.Full {
+		lcfg.Suite = setcrypto.Ed25519Suite{}
+	}
+	d := core.Deploy(s, n, lcfg, opts, rec)
+	applyByzantine(d, sc.Byzantine)
 
 	gen := workload.New(d, rec, workload.Config{
-		Rate:     sc.Rate,
-		Duration: sc.SendFor,
+		Rate:         sc.Rate,
+		Duration:     sc.SendFor,
+		Sizes:        sc.Sizes,
+		Tick:         sc.Tick,
+		FullPayloads: sc.Mode == core.Full,
 	})
 	d.Start()
 	gen.Start()

@@ -1,69 +1,97 @@
 package harness
 
 import (
-	"fmt"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/spec"
 )
 
-// Fig1Panel describes one panel of Fig. 1 (throughput over time).
+// The study functions reproduce the paper's figures by expanding entries
+// of the spec registry (internal/spec, DESIGN.md §7) into scenario lists
+// for RunMany. The registry is the single source of truth for every
+// cell's parameters: cmd/specdoc renders the same entries into
+// EXPERIMENTS.md, and TestRegistryExpansionMatchesLegacyStudies pins the
+// expansions to the hand-written scenario lists they replaced.
+
+// mustAlgSpec converts a registry cell's variant fields; registry cells
+// always carry a valid algorithm.
+func mustAlgSpec(c spec.ScenarioSpec) AlgSpec {
+	c = c.WithDefaults()
+	alg, err := ParseAlgorithm(c.Algorithm)
+	if err != nil {
+		panic("harness: " + err.Error())
+	}
+	return AlgSpec{Alg: alg, Collector: c.Collector, Light: c.Light}
+}
+
+// Fig1Panel describes one panel of Fig. 1 (throughput over time). Name,
+// Rate, Collector, Specs and Horizon summarize the panel for renderers;
+// Cells are the registry cells behind it, and RunFig1Panel executes those
+// (so registry edits — a per-cell delay, rate or seed — run faithfully
+// even where the summary fields cannot express them).
 type Fig1Panel struct {
 	Name      string
 	Rate      float64
 	Collector int
 	Specs     []AlgSpec
 	Horizon   time.Duration
+	Cells     []spec.ScenarioSpec
 }
 
-// Fig1Panels returns the three panels of Fig. 1: (left) 5,000 el/s with
-// c=100 and all three algorithms; (center) 10,000 el/s with c=100,
-// Compresschain vs Hashchain; (right) 10,000 el/s with c=500.
+// Fig1Panels expands the "fig1" registry entry into its three panels:
+// (left) 5,000 el/s with c=100 and all three algorithms; (center)
+// 10,000 el/s with c=100, Compresschain vs Hashchain; (right)
+// 10,000 el/s with c=500. Cells sharing a Group form one panel.
 func Fig1Panels() []Fig1Panel {
-	return []Fig1Panel{
-		{
-			Name: "left", Rate: 5000, Collector: 100,
-			Specs: []AlgSpec{
-				SpecVanilla,
-				{Alg: core.Compresschain, Collector: 100},
-				{Alg: core.Hashchain, Collector: 100},
-			},
-			Horizon: 350 * time.Second,
-		},
-		{
-			Name: "center", Rate: 10000, Collector: 100,
-			Specs: []AlgSpec{
-				{Alg: core.Compresschain, Collector: 100},
-				{Alg: core.Hashchain, Collector: 100},
-			},
-			Horizon: 350 * time.Second,
-		},
-		{
-			Name: "right", Rate: 10000, Collector: 500,
-			Specs: []AlgSpec{
-				{Alg: core.Compresschain, Collector: 500},
-				{Alg: core.Hashchain, Collector: 500},
-			},
-			Horizon: 250 * time.Second,
-		},
+	var panels []Fig1Panel
+	for _, c := range spec.MustGet("fig1").Cells {
+		if len(panels) == 0 || panels[len(panels)-1].Name != c.Group {
+			panels = append(panels, Fig1Panel{
+				Name:    c.Group,
+				Rate:    c.Rate,
+				Horizon: c.Horizon.Std(),
+			})
+		}
+		p := &panels[len(panels)-1]
+		if c.Collector > p.Collector {
+			p.Collector = c.Collector
+		}
+		p.Specs = append(p.Specs, mustAlgSpec(c))
+		p.Cells = append(p.Cells, c)
 	}
+	return panels
 }
 
-// RunFig1Panel runs every algorithm of one panel (10 servers, no extra
-// delay) and returns the results in spec order. scale shrinks the run for
-// quick passes (1 = paper scale). Cells run on the RunMany worker pool.
+// RunFig1Panel runs every algorithm of one panel and returns the results
+// in spec order. scale shrinks the run for quick passes (1 = paper
+// scale). Cells run on the RunMany worker pool.
 func RunFig1Panel(p Fig1Panel, scale float64) []*Result {
-	var cells []Scenario
+	return RunMany(panelScenarios(p, scale))
+}
+
+// panelScenarios expands a panel into executable scenarios: from its
+// registry cells when it has them, otherwise (hand-built panels) from
+// the summary fields, which is exactly what the cell conversion yields
+// for the registry's own panels.
+func panelScenarios(p Fig1Panel, scale float64) []Scenario {
+	if len(p.Cells) > 0 {
+		scs, err := FromSpecs(p.Cells, scale)
+		if err != nil {
+			panic("harness: invalid Fig1Panel cells: " + err.Error())
+		}
+		return scs
+	}
+	var scs []Scenario
 	for _, spec := range p.Specs {
-		cells = append(cells, Scenario{
+		scs = append(scs, Scenario{
 			Spec:    spec,
 			Rate:    p.Rate,
 			Horizon: time.Duration(float64(p.Horizon) * scaleOr1(scale)),
 			Scale:   scale,
 		})
 	}
-	return RunMany(cells)
+	return scs
 }
 
 func scaleOr1(s float64) float64 {
@@ -80,41 +108,19 @@ type LimitResult struct {
 	Result *Result
 }
 
-// RunLimitStudy reproduces Fig. 2 (left): the highest throughput each
-// variant sustains with collector size 500 on 10 servers. The paper sends
-// 25,000 el/s at Hashchain with hash-reversal (bottlenecked near 20k el/s
-// by per-element validation) and 150,000 el/s at Hashchain Light (reaching
-// ~134k el/s), and compares Compresschain with and without
-// decompression+validation plus Vanilla.
+// RunLimitStudy reproduces Fig. 2 (left) by expanding the "fig2left"
+// registry entry: the highest throughput each variant sustains with
+// collector size 500 on 10 servers. The paper sends 25,000 el/s at
+// Hashchain with hash-reversal (bottlenecked near 20k el/s by per-element
+// validation) and 150,000 el/s at Hashchain Light (reaching ~134k el/s),
+// and compares Compresschain with and without decompression+validation
+// plus Vanilla.
 func RunLimitStudy(scale float64) []LimitResult {
-	scale = scaleOr1(scale)
-	type cell struct {
-		label string
-		spec  AlgSpec
-		rate  float64
-	}
-	cells := []cell{
-		{"Hashchain c=500 (hash-reversal on)", SpecHash500, 25000},
-		{"Hashchain Light c=500 (no hash-reversal)",
-			AlgSpec{Alg: core.Hashchain, Collector: 500, Light: true}, 150000},
-		{"Compresschain c=500", SpecCompress500, 25000},
-		{"Compresschain Light c=500",
-			AlgSpec{Alg: core.Compresschain, Collector: 500, Light: true}, 25000},
-		{"Vanilla", SpecVanilla, 5000},
-	}
-	scs := make([]Scenario, len(cells))
-	for i, c := range cells {
-		scs[i] = Scenario{
-			Spec:    c.spec,
-			Rate:    c.rate,
-			Horizon: time.Duration(90 * float64(time.Second) * scale),
-			Scale:   scale,
-		}
-	}
-	results := RunMany(scs)
-	out := make([]LimitResult, len(cells))
-	for i, c := range cells {
-		out[i] = LimitResult{Label: c.label, Result: results[i]}
+	e := spec.MustGet("fig2left")
+	results := RunMany(mustEntryScenarios("fig2left", scale))
+	out := make([]LimitResult, len(results))
+	for i, res := range results {
+		out[i] = LimitResult{Label: e.Cells[i].Label(), Result: res}
 	}
 	return out
 }
@@ -132,63 +138,36 @@ func EfficiencySpecs() []AlgSpec {
 	return []AlgSpec{SpecVanilla, SpecCompress100, SpecCompress500, SpecHash100, SpecHash500}
 }
 
-// runEfficiencyGrid fans one Fig. 3 grid (scenarios × EfficiencySpecs)
-// across the worker pool and labels each cell with the varied parameter.
-func runEfficiencyGrid(scs []Scenario, params []string, specs []AlgSpec) []EfficiencyCell {
+// runEfficiencyEntry fans one Fig. 3/5 registry grid across the worker
+// pool and labels each cell with its group (the varied parameter).
+func runEfficiencyEntry(name string, scale float64) []EfficiencyCell {
+	e := spec.MustGet(name)
+	scs := mustEntryScenarios(name, scale)
 	results := RunMany(scs)
 	out := make([]EfficiencyCell, len(scs))
 	for i, res := range results {
-		out[i] = EfficiencyCell{Spec: specs[i], Param: params[i], Result: res}
+		out[i] = EfficiencyCell{Spec: scs[i].Spec, Param: e.Cells[i].Group, Result: res}
 	}
 	return out
 }
 
-// RunEfficiencyVsRate reproduces Fig. 3a: efficiency for sending rates
-// 500/1000/5000/10000 el/s (10 servers, no delay).
+// RunEfficiencyVsRate reproduces Fig. 3a (registry entry "fig3a"):
+// efficiency for sending rates 500/1000/5000/10000 el/s (10 servers, no
+// delay).
 func RunEfficiencyVsRate(scale float64) []EfficiencyCell {
-	var scs []Scenario
-	var params []string
-	var specs []AlgSpec
-	for _, rate := range []float64{500, 1000, 5000, 10000} {
-		for _, spec := range EfficiencySpecs() {
-			scs = append(scs, Scenario{Spec: spec, Rate: rate, Scale: scale})
-			params = append(params, fmt.Sprintf("%.0f el/s", rate))
-			specs = append(specs, spec)
-		}
-	}
-	return runEfficiencyGrid(scs, params, specs)
+	return runEfficiencyEntry("fig3a", scale)
 }
 
-// RunEfficiencyVsServers reproduces Fig. 3b: efficiency for 4/7/10 servers
-// (10,000 el/s, no delay).
+// RunEfficiencyVsServers reproduces Fig. 3b (registry entry "fig3b"):
+// efficiency for 4/7/10 servers (10,000 el/s, no delay).
 func RunEfficiencyVsServers(scale float64) []EfficiencyCell {
-	var scs []Scenario
-	var params []string
-	var specs []AlgSpec
-	for _, n := range []int{4, 7, 10} {
-		for _, spec := range EfficiencySpecs() {
-			scs = append(scs, Scenario{Spec: spec, Rate: 10000, Servers: n, Scale: scale})
-			params = append(params, fmt.Sprintf("%d servers", n))
-			specs = append(specs, spec)
-		}
-	}
-	return runEfficiencyGrid(scs, params, specs)
+	return runEfficiencyEntry("fig3b", scale)
 }
 
-// RunEfficiencyVsDelay reproduces Fig. 3c: efficiency for network delays
-// 0/30/100 ms (10 servers, 10,000 el/s).
+// RunEfficiencyVsDelay reproduces Fig. 3c (registry entry "fig3c"):
+// efficiency for network delays 0/30/100 ms (10 servers, 10,000 el/s).
 func RunEfficiencyVsDelay(scale float64) []EfficiencyCell {
-	var scs []Scenario
-	var params []string
-	var specs []AlgSpec
-	for _, delay := range []time.Duration{0, 30 * time.Millisecond, 100 * time.Millisecond} {
-		for _, spec := range EfficiencySpecs() {
-			scs = append(scs, Scenario{Spec: spec, Rate: 10000, NetworkDelay: delay, Scale: scale})
-			params = append(params, delay.String())
-			specs = append(specs, spec)
-		}
-	}
-	return runEfficiencyGrid(scs, params, specs)
+	return runEfficiencyEntry("fig3c", scale)
 }
 
 // LatencyCurves holds Fig. 4's five CDFs for one algorithm.
@@ -199,29 +178,17 @@ type LatencyCurves struct {
 	Result *Result
 }
 
-// RunLatencyStudy reproduces Fig. 4: stage latency CDFs for the three
-// algorithms with collector size 100, 10 servers, 1,250 el/s, no delay.
+// RunLatencyStudy reproduces Fig. 4 (registry entry "fig4"): stage
+// latency CDFs for the three algorithms with collector size 100,
+// 10 servers, 1,250 el/s, no delay.
 func RunLatencyStudy(scale float64) []LatencyCurves {
-	specs := []AlgSpec{
-		SpecVanilla,
-		{Alg: core.Compresschain, Collector: 100},
-		{Alg: core.Hashchain, Collector: 100},
-	}
-	scs := make([]Scenario, len(specs))
-	for i, spec := range specs {
-		scs[i] = Scenario{
-			Spec:  spec,
-			Rate:  1250,
-			Level: metrics.LevelStages,
-			Scale: scale,
-		}
-	}
+	scs := mustEntryScenarios("fig4", scale)
 	results := RunMany(scs)
 	var out []LatencyCurves
-	for i, spec := range specs {
+	for i, sc := range scs {
 		res := results[i]
 		lc := LatencyCurves{
-			Spec:   spec,
+			Spec:   sc.Spec,
 			Stages: make(map[metrics.Stage][]time.Duration),
 			Reach:  make(map[metrics.Stage]float64),
 			Result: res,
@@ -248,14 +215,15 @@ const (
 	CommitVsDelay
 )
 
-// RunCommitTimeStudy runs the selected Fig. 5 grid.
+// RunCommitTimeStudy runs the selected Fig. 5 grid (registry entries
+// "fig5a"/"fig5b"/"fig5c", which share their cells with Fig. 3's).
 func RunCommitTimeStudy(dim CommitTimeStudyDim, scale float64) []EfficiencyCell {
 	switch dim {
 	case CommitVsRate:
-		return RunEfficiencyVsRate(scale)
+		return runEfficiencyEntry("fig5a", scale)
 	case CommitVsServers:
-		return RunEfficiencyVsServers(scale)
+		return runEfficiencyEntry("fig5b", scale)
 	default:
-		return RunEfficiencyVsDelay(scale)
+		return runEfficiencyEntry("fig5c", scale)
 	}
 }

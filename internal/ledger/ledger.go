@@ -11,6 +11,8 @@
 //     the same blocks in the same order;
 //   - Property 11 (Notification-Implies-Append): committed transactions
 //     were appended by some server.
+//
+// See DESIGN.md §4 (ledger stack).
 package ledger
 
 import (

@@ -3,6 +3,8 @@
 // deduplication, capacity limits (the paper raises CometBFT's default to
 // 10,000,000 transactions or 2 GB), gossip replication to peers, and
 // reaping for block proposals.
+//
+// See DESIGN.md §4 (ledger stack).
 package mempool
 
 import (
@@ -88,12 +90,12 @@ func New(id wire.NodeID, s *sim.Simulator, net *netsim.Network, peers []wire.Nod
 		cfg.GossipInterval = PaperConfig().GossipInterval
 	}
 	return &Mempool{
-		id:    id,
-		sim:   s,
-		net:   net,
-		cfg:   cfg,
-		check: check,
-		enter: enter,
+		id:      id,
+		sim:     s,
+		net:     net,
+		cfg:     cfg,
+		check:   check,
+		enter:   enter,
 		entries: make(map[wire.TxKey]*wire.Tx),
 		peers:   peers,
 	}

@@ -8,6 +8,8 @@
 // Two levels are supported: LevelThroughput keeps only counters and time
 // buckets (cheap enough for multi-million-element runs), while LevelStages
 // additionally tracks per-element stage timestamps for latency CDFs.
+//
+// See DESIGN.md §2 (layering).
 package metrics
 
 import (

@@ -8,6 +8,8 @@
 // are generated"): delivery is guaranteed and exactly-once, though delayed.
 // Byzantine behavior is modeled at the protocol layer, not by corrupting
 // the network.
+//
+// See DESIGN.md §2 (layering).
 package netsim
 
 import (

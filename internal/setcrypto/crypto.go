@@ -6,10 +6,10 @@
 // Two suites are provided. Ed25519Suite performs real signing, verification
 // and hashing and is used by the full-fidelity code path (unit tests,
 // examples, small benchmarks). FastSuite produces deterministic 64-byte
-// tags derived from FNV hashing; it is used by the large virtual-time
+// tags from an FNV-seeded wordwise hash; it is used by the large virtual-time
 // simulations, where cryptographic CPU cost is charged to the simulated
 // CPU via the cost model instead of being burned for real (see
-// internal/harness.CostModel).
+// core.CostModel and DESIGN.md §1, fidelity substitutions).
 package setcrypto
 
 import (

@@ -16,6 +16,8 @@
 // from the heap immediately instead of leaving a tombstone to surface at
 // its timestamp. The steady-state schedule/pop path performs zero heap
 // allocations.
+//
+// See DESIGN.md §6 (performance engineering).
 package sim
 
 import (

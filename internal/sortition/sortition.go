@@ -12,6 +12,8 @@
 // private sortition (as in Algorand) is out of scope; what matters for
 // Setchain is that the committee is deterministic, stake-weighted and
 // rotates.
+//
+// See DESIGN.md §2 (layering).
 package sortition
 
 import (

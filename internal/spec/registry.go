@@ -1,0 +1,150 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Entry is one named experiment of the catalog: the documentation (title,
+// description, the paper figure or table it reproduces) and the scenario
+// cells that run it live in the same struct, so cmd/specdoc's generated
+// EXPERIMENTS.md can never drift from what the executor runs.
+type Entry struct {
+	// Name is the -exp identifier ("fig3a").
+	Name string
+	// Title is the one-line headline shown by -list.
+	Title string
+	// Figure names the paper figure/table the entry reproduces
+	// ("Fig. 3a", "Table 2").
+	Figure string
+	// Description explains the experiment: what is swept, what the paper
+	// reports, what to look for in the output.
+	Description string
+	// Cells are the simulation cells the entry expands into, in execution
+	// order. Analytic entries (closed-form model only) have none.
+	Cells []ScenarioSpec
+}
+
+// registry holds the catalog in registration order.
+var registry []Entry
+
+// Register adds an entry to the catalog. It panics on duplicate names or
+// invalid cells — registration happens at init time from checked-in code,
+// so any failure is a programming error the tests catch immediately.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("spec: Register with empty name")
+	}
+	if _, ok := Get(e.Name); ok {
+		panic(fmt.Sprintf("spec: duplicate registry entry %q", e.Name))
+	}
+	for i, c := range e.Cells {
+		if err := c.WithDefaults().Validate(); err != nil {
+			panic(fmt.Sprintf("spec: entry %q cell %d: %v", e.Name, i, err))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// Get returns the named entry.
+func Get(name string) (Entry, bool) {
+	for _, e := range registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// MustGet returns the named entry or panics; for registry names fixed at
+// compile time.
+func MustGet(name string) Entry {
+	e, ok := Get(name)
+	if !ok {
+		panic(fmt.Sprintf("spec: no registry entry %q", name))
+	}
+	return e
+}
+
+// All returns the catalog in registration order. The slice is shared;
+// treat it as read-only.
+func All() []Entry { return registry }
+
+// Names returns every entry name in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// SuggestEntries returns registry names resembling the (unknown) name,
+// closest first.
+func SuggestEntries(name string) []string { return Suggest(name, Names()) }
+
+// Decode reads a scenario document: either a single ScenarioSpec object
+// or an array of them. Cells are returned defaulted and validated.
+func Decode(r io.Reader) ([]ScenarioSpec, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var cells []ScenarioSpec
+	var one ScenarioSpec
+	dec := func(v any) error {
+		d := json.NewDecoder(bytes.NewReader(blob))
+		d.DisallowUnknownFields()
+		return d.Decode(v)
+	}
+	if err := dec(&cells); err != nil {
+		if errOne := dec(&one); errOne != nil {
+			// Report the error for the form the document actually uses, so
+			// an unknown-field typo in a single object surfaces as such
+			// instead of as "cannot unmarshal object into []ScenarioSpec".
+			if trimmed := bytes.TrimLeft(blob, " \t\r\n"); len(trimmed) > 0 && trimmed[0] == '{' {
+				return nil, fmt.Errorf("scenario object: %w", errOne)
+			}
+			return nil, fmt.Errorf("want a scenario object or array: %w", err)
+		}
+		cells = []ScenarioSpec{one}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("empty scenario document")
+	}
+	for i := range cells {
+		cells[i] = cells[i].WithDefaults()
+		if err := cells[i].Validate(); err != nil {
+			return nil, fmt.Errorf("cell %d: %w", i, err)
+		}
+	}
+	return cells, nil
+}
+
+// LoadFile reads a scenario document from disk (see Decode).
+func LoadFile(path string) ([]ScenarioSpec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cells, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return cells, nil
+}
+
+// Encode writes the cells as indented JSON — the inverse of Decode, used
+// to export registry entries as editable starting points.
+func Encode(w io.Writer, cells []ScenarioSpec) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if len(cells) == 1 {
+		return enc.Encode(cells[0])
+	}
+	return enc.Encode(cells)
+}

@@ -1,0 +1,347 @@
+// Package spec makes experiment scenarios data instead of code: a
+// serializable ScenarioSpec captures everything a harness run needs —
+// algorithm variant, workload shape and rate, deployment size, network
+// latency/bandwidth, Byzantine faults, crypto fidelity and metric
+// granularity — with JSON encode/decode, validation and defaulting, plus
+// the named-experiment registry that the study functions in
+// internal/harness expand and cmd/specdoc renders into EXPERIMENTS.md.
+// See DESIGN.md §7 (declarative scenarios and the experiment registry).
+//
+// The package is pure data: it imports nothing above the standard library,
+// so cmd/specdoc can render the catalog without linking the simulator, and
+// internal/harness (not spec) owns the mapping onto core/metrics types.
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a human-readable string
+// ("50s", "30ms") and unmarshals from either that form or a bare JSON
+// number of seconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its String form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "350ms"/"50s"-style strings or numeric seconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var secs float64
+	if err := json.Unmarshal(b, &secs); err != nil {
+		return err
+	}
+	*d = Duration(secs * float64(time.Second))
+	return nil
+}
+
+// Std returns the standard-library duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) }
+
+// Algorithm names (the canonical strings of ScenarioSpec.Algorithm).
+const (
+	AlgVanilla       = "vanilla"
+	AlgCompresschain = "compresschain"
+	AlgHashchain     = "hashchain"
+)
+
+// Metric granularities (ScenarioSpec.Metrics).
+const (
+	MetricsThroughput = "throughput" // counters and time buckets only
+	MetricsStages     = "stages"     // + per-element latency stages (Fig. 4)
+)
+
+// Crypto fidelity modes (ScenarioSpec.Crypto); see DESIGN.md §1.
+const (
+	CryptoModeled = "modeled" // modeled bytes, CPU cost charged to sim clock
+	CryptoFull    = "full"    // real ed25519/SHA-512/Deflate over real payloads
+)
+
+// Byzantine behavior names (ByzantineSpec.Behaviors); each maps onto one
+// preset of internal/byzantine.
+const (
+	BehaviorSilent          = "silent"           // network-down (crash-like)
+	BehaviorInjectInvalid   = "inject-invalid"   // bogus elements in every batch
+	BehaviorWithholdBatches = "withhold-batches" // sign hashes, never serve data
+	BehaviorWrongBatches    = "wrong-batches"    // serve corrupted batch contents
+	BehaviorCorruptProofs   = "corrupt-proofs"   // sign garbage epoch hashes
+)
+
+// Behaviors lists every valid Byzantine behavior name.
+var Behaviors = []string{
+	BehaviorSilent, BehaviorInjectInvalid, BehaviorWithholdBatches,
+	BehaviorWrongBatches, BehaviorCorruptProofs,
+}
+
+// DefaultInjectCount is the bogus-element count "inject-invalid" uses
+// when a spec leaves inject_count unset; the harness applies the same
+// default to hand-built scenarios.
+const DefaultInjectCount = 3
+
+// WorkloadSpec shapes the element stream. The zero value is the paper's
+// Arbitrum distribution at the default 10 ms injection tick; WithDefaults
+// fills unset fields with those same values, so a partially-specified
+// workload keeps the paper's parameters for whatever it leaves out.
+type WorkloadSpec struct {
+	// SizeMean / SizeStdDev parameterize the log-normal element-size model
+	// (paper: mean 438 B, σ 753.5).
+	SizeMean   float64 `json:"size_mean,omitempty"`
+	SizeStdDev float64 `json:"size_stddev,omitempty"`
+	// SizeMin / SizeMax clamp sampled sizes (defaults 96 / 16384).
+	SizeMin int `json:"size_min,omitempty"`
+	SizeMax int `json:"size_max,omitempty"`
+	// Tick batches injection bookkeeping (default 10ms).
+	Tick Duration `json:"tick,omitempty"`
+}
+
+// ByzantineSpec configures faulty servers. The highest-indexed Faulty
+// servers of the deployment run every listed behavior (server 0, the
+// metrics observer, always stays correct).
+type ByzantineSpec struct {
+	// Faulty is how many servers misbehave.
+	Faulty int `json:"faulty"`
+	// Behaviors lists the preset fault behaviors (see Behaviors).
+	Behaviors []string `json:"behaviors"`
+	// InjectCount is the bogus elements added per batch when Behaviors
+	// includes "inject-invalid" (default 3).
+	InjectCount int `json:"inject_count,omitempty"`
+}
+
+// ScenarioSpec is one experiment cell as data: a full description of an
+// algorithm variant under a workload and deployment configuration. The
+// zero values of optional fields select the paper's defaults (10 servers,
+// 50 s send window, LAN network, modeled crypto, throughput metrics).
+type ScenarioSpec struct {
+	// Name labels the cell in output; empty derives a label from the
+	// configuration at run time.
+	Name string `json:"name,omitempty"`
+	// Group buckets cells of one experiment (a Fig. 1 panel, a Fig. 3
+	// bar group); purely presentational.
+	Group string `json:"group,omitempty"`
+	// Algorithm is "vanilla", "compresschain" or "hashchain".
+	Algorithm string `json:"algorithm"`
+	// Collector is the paper's collector size c (ignored by Vanilla;
+	// default 100 otherwise).
+	Collector int `json:"collector,omitempty"`
+	// Light disables the expensive pipeline half (Fig. 2 ablations).
+	Light bool `json:"light,omitempty"`
+	// Servers is the deployment size (paper: 4, 7, 10; default 10).
+	Servers int `json:"servers,omitempty"`
+	// Rate is the aggregate sending rate in elements/second.
+	Rate float64 `json:"rate"`
+	// SendFor is how long clients keep adding (default 50s).
+	SendFor Duration `json:"send_for,omitempty"`
+	// Horizon is the total virtual time simulated; 0 derives
+	// SendFor + 100s at run time (and is never scaled — explicit horizons
+	// shrink with the run-time scale factor).
+	Horizon Duration `json:"horizon,omitempty"`
+	// NetworkDelay is the paper's network_delay: artificial latency added
+	// to every link (0, 30ms, 100ms in the evaluation).
+	NetworkDelay Duration `json:"network_delay,omitempty"`
+	// Bandwidth overrides per-node egress bandwidth in bytes/second;
+	// 0 keeps the default 1 Gbit/s LAN.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Seed drives all randomness (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Scale multiplies Rate and SendFor (quick passes; default 1). The
+	// harness multiplies it further by its run-time scale argument.
+	Scale float64 `json:"scale,omitempty"`
+	// Metrics is "throughput" (default) or "stages".
+	Metrics string `json:"metrics,omitempty"`
+	// Crypto is "modeled" (default) or "full".
+	Crypto string `json:"crypto,omitempty"`
+	// Workload shapes the element stream; nil uses the paper's model.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Byzantine configures faulty servers; nil means all correct.
+	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
+}
+
+// WithDefaults fills the paper's defaults into unset fields. It is
+// idempotent, and its choices mirror harness.Scenario's own defaulting so
+// a defaulted spec and a sparse one produce identical runs.
+func (s ScenarioSpec) WithDefaults() ScenarioSpec {
+	if s.Servers == 0 {
+		s.Servers = 10
+	}
+	if s.SendFor == 0 {
+		s.SendFor = Duration(50 * time.Second)
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Scale == 0 {
+		s.Scale = 1
+	}
+	if s.Metrics == "" {
+		s.Metrics = MetricsThroughput
+	}
+	if s.Crypto == "" {
+		s.Crypto = CryptoModeled
+	}
+	if s.Collector == 0 && s.Algorithm != AlgVanilla {
+		s.Collector = 100
+	}
+	if s.Workload != nil {
+		w := *s.Workload
+		if w.SizeMean == 0 {
+			w.SizeMean = 438
+		}
+		if w.SizeStdDev == 0 {
+			w.SizeStdDev = 753.5
+		}
+		if w.SizeMin == 0 {
+			w.SizeMin = 96
+		}
+		if w.SizeMax == 0 {
+			w.SizeMax = 16384
+		}
+		if w.Tick == 0 {
+			w.Tick = Duration(10 * time.Millisecond)
+		}
+		s.Workload = &w
+	}
+	if s.Byzantine != nil {
+		b := *s.Byzantine
+		if b.InjectCount == 0 && hasBehavior(b.Behaviors, BehaviorInjectInvalid) {
+			b.InjectCount = DefaultInjectCount
+		}
+		s.Byzantine = &b
+	}
+	return s
+}
+
+func hasBehavior(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate reports the first problem with the spec, or nil. Call after
+// WithDefaults; a defaulted registry cell always validates.
+func (s ScenarioSpec) Validate() error {
+	switch s.Algorithm {
+	case AlgVanilla, AlgCompresschain, AlgHashchain:
+	case "":
+		return fmt.Errorf("algorithm missing (want %q, %q or %q)",
+			AlgVanilla, AlgCompresschain, AlgHashchain)
+	default:
+		return fmt.Errorf("unknown algorithm %q (want %q, %q or %q)",
+			s.Algorithm, AlgVanilla, AlgCompresschain, AlgHashchain)
+	}
+	if s.Algorithm == AlgVanilla && s.Light {
+		return fmt.Errorf("light has no Vanilla variant (the ablation removes batch validation, which Vanilla does not have)")
+	}
+	if s.Rate <= 0 {
+		return fmt.Errorf("rate must be positive, got %g", s.Rate)
+	}
+	if s.Servers < 1 {
+		return fmt.Errorf("servers must be >= 1, got %d", s.Servers)
+	}
+	if s.Collector < 0 {
+		return fmt.Errorf("collector must be >= 0, got %d", s.Collector)
+	}
+	if s.SendFor < 0 || s.Horizon < 0 || s.NetworkDelay < 0 {
+		return fmt.Errorf("durations must be >= 0")
+	}
+	if s.Horizon != 0 && s.Horizon < s.SendFor {
+		return fmt.Errorf("horizon %v shorter than send window %v", s.Horizon.Std(), s.SendFor.Std())
+	}
+	if s.Bandwidth < 0 {
+		return fmt.Errorf("bandwidth must be >= 0, got %g", s.Bandwidth)
+	}
+	if s.Scale < 0 {
+		return fmt.Errorf("scale must be >= 0, got %g", s.Scale)
+	}
+	switch s.Metrics {
+	case "", MetricsThroughput, MetricsStages:
+	default:
+		return fmt.Errorf("unknown metrics level %q (want %q or %q)",
+			s.Metrics, MetricsThroughput, MetricsStages)
+	}
+	switch s.Crypto {
+	case "", CryptoModeled, CryptoFull:
+	default:
+		return fmt.Errorf("unknown crypto mode %q (want %q or %q)",
+			s.Crypto, CryptoModeled, CryptoFull)
+	}
+	if w := s.Workload; w != nil {
+		if w.SizeMean < 0 || w.SizeStdDev < 0 || w.SizeMin < 0 || w.SizeMax < 0 || w.Tick < 0 {
+			return fmt.Errorf("workload parameters must be >= 0")
+		}
+		if w.SizeMax != 0 && w.SizeMin > w.SizeMax {
+			return fmt.Errorf("workload size_min %d > size_max %d", w.SizeMin, w.SizeMax)
+		}
+	}
+	if b := s.Byzantine; b != nil {
+		if b.Faulty < 0 {
+			return fmt.Errorf("byzantine faulty must be >= 0, got %d", b.Faulty)
+		}
+		if b.Faulty >= s.Servers {
+			return fmt.Errorf("byzantine faulty %d leaves no correct server of %d", b.Faulty, s.Servers)
+		}
+		if b.Faulty > 0 && len(b.Behaviors) == 0 {
+			return fmt.Errorf("byzantine faulty %d but no behaviors listed", b.Faulty)
+		}
+		for _, name := range b.Behaviors {
+			if !hasBehavior(Behaviors, name) {
+				return fmt.Errorf("unknown byzantine behavior %q (want one of %s)",
+					name, strings.Join(Behaviors, ", "))
+			}
+		}
+		if b.InjectCount < 0 {
+			return fmt.Errorf("byzantine inject_count must be >= 0, got %d", b.InjectCount)
+		}
+	}
+	return nil
+}
+
+// Label renders the paper's legend label for the variant ("Hashchain
+// c=500", "Vanilla", "Compresschain Light c=100"), or Name when set.
+func (s ScenarioSpec) Label() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return s.VariantLabel()
+}
+
+// VariantLabel renders the algorithm-variant part of the label alone,
+// ignoring Name.
+func (s ScenarioSpec) VariantLabel() string {
+	var b strings.Builder
+	switch s.Algorithm {
+	case AlgVanilla:
+		b.WriteString("Vanilla")
+	case AlgCompresschain:
+		b.WriteString("Compresschain")
+	case AlgHashchain:
+		b.WriteString("Hashchain")
+	default:
+		b.WriteString(s.Algorithm)
+	}
+	if s.Light {
+		b.WriteString(" Light")
+	}
+	if s.Algorithm != AlgVanilla && s.Collector != 0 {
+		fmt.Fprintf(&b, " c=%d", s.Collector)
+	}
+	return b.String()
+}

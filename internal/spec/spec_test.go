@@ -1,0 +1,291 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fullSpec exercises every field of the schema.
+func fullSpec() ScenarioSpec {
+	return ScenarioSpec{
+		Name:         "wan stress",
+		Group:        "wan",
+		Algorithm:    AlgHashchain,
+		Collector:    500,
+		Light:        true,
+		Servers:      16,
+		Rate:         25000,
+		SendFor:      Duration(40 * time.Second),
+		Horizon:      Duration(200 * time.Second),
+		NetworkDelay: Duration(30 * time.Millisecond),
+		Bandwidth:    12.5e6,
+		Seed:         7,
+		Scale:        0.5,
+		Metrics:      MetricsStages,
+		Crypto:       CryptoModeled,
+		Workload: &WorkloadSpec{
+			SizeMean: 438, SizeStdDev: 753.5, SizeMin: 96, SizeMax: 16384,
+			Tick: Duration(5 * time.Millisecond),
+		},
+		Byzantine: &ByzantineSpec{
+			Faulty:      2,
+			Behaviors:   []string{BehaviorWithholdBatches, BehaviorCorruptProofs},
+			InjectCount: 0,
+		},
+	}
+}
+
+func TestRoundTripIdentity(t *testing.T) {
+	// encode → decode → validate is the identity on a defaulted spec.
+	for _, sp := range []ScenarioSpec{
+		fullSpec().WithDefaults(),
+		vanilla().WithDefaults(),
+		withRate(1250, hash(100)).WithDefaults(),
+	} {
+		if err := sp.Validate(); err == nil || sp.Rate > 0 {
+			var buf bytes.Buffer
+			if err := Encode(&buf, []ScenarioSpec{sp}); err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			got, err := Decode(&buf)
+			if err != nil {
+				t.Fatalf("decode: %v\nspec: %+v", err, sp)
+			}
+			if len(got) != 1 || !reflect.DeepEqual(got[0], sp) {
+				t.Fatalf("round trip changed the spec:\n in: %+v\nout: %+v", sp, got[0])
+			}
+		}
+	}
+}
+
+func TestDecodeSingleObjectAndArray(t *testing.T) {
+	one := `{"algorithm": "hashchain", "rate": 1250}`
+	cells, err := Decode(strings.NewReader(one))
+	if err != nil {
+		t.Fatalf("single object: %v", err)
+	}
+	if len(cells) != 1 || cells[0].Algorithm != AlgHashchain || cells[0].Servers != 10 {
+		t.Fatalf("single object decoded wrong: %+v", cells)
+	}
+	arr := `[{"algorithm": "vanilla", "rate": 500}, {"algorithm": "compresschain", "rate": 500, "collector": 500}]`
+	cells, err = Decode(strings.NewReader(arr))
+	if err != nil {
+		t.Fatalf("array: %v", err)
+	}
+	if len(cells) != 2 || cells[1].Collector != 500 {
+		t.Fatalf("array decoded wrong: %+v", cells)
+	}
+}
+
+func TestDecodeRejectsUnknownFieldsAndBadCells(t *testing.T) {
+	cases := []string{
+		`{"algorithm": "hashchain", "rate": 1250, "colector": 100}`,      // typo
+		`{"algorithm": "blockchain", "rate": 1250}`,                      // unknown alg
+		`{"algorithm": "hashchain"}`,                                     // no rate
+		`[]`,                                                             // empty document
+		`{"algorithm": "vanilla", "rate": 100, "light": true}`,           // vanilla light
+		`{"algorithm": "hashchain", "rate": 1, "metrics": "everything"}`, // bad level
+	}
+	for _, doc := range cases {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("Decode accepted %s", doc)
+		}
+	}
+	// A typo in a single-object document must surface the unknown-field
+	// error, not the generic object-into-array mismatch.
+	_, err := Decode(strings.NewReader(`{"algorthm": "hashchain", "rate": 100}`))
+	if err == nil || !strings.Contains(err.Error(), "algorthm") {
+		t.Errorf("single-object typo error unhelpful: %v", err)
+	}
+}
+
+func TestWorkloadDefaultsFillPartialSpecs(t *testing.T) {
+	sp := ScenarioSpec{Algorithm: AlgHashchain, Rate: 100,
+		Workload: &WorkloadSpec{SizeMean: 600}}.WithDefaults()
+	w := sp.Workload
+	if w.SizeMean != 600 || w.SizeStdDev != 753.5 || w.SizeMin != 96 ||
+		w.SizeMax != 16384 || w.Tick.Std() != 10*time.Millisecond {
+		t.Fatalf("partial workload not defaulted: %+v", w)
+	}
+	if sp.WithDefaults().Workload.SizeMean != 600 {
+		t.Fatal("workload defaulting not idempotent")
+	}
+}
+
+func TestDurationForms(t *testing.T) {
+	var sp ScenarioSpec
+	doc := `{"algorithm": "hashchain", "rate": 1, "send_for": 40, "network_delay": "30ms"}`
+	if err := json.Unmarshal([]byte(doc), &sp); err != nil {
+		t.Fatal(err)
+	}
+	if sp.SendFor.Std() != 40*time.Second {
+		t.Fatalf("numeric seconds: got %v", sp.SendFor.Std())
+	}
+	if sp.NetworkDelay.Std() != 30*time.Millisecond {
+		t.Fatalf("duration string: got %v", sp.NetworkDelay.Std())
+	}
+	blob, err := json.Marshal(Duration(30 * time.Millisecond))
+	if err != nil || string(blob) != `"30ms"` {
+		t.Fatalf("marshal: %s, %v", blob, err)
+	}
+}
+
+func TestWithDefaultsIdempotent(t *testing.T) {
+	for _, sp := range []ScenarioSpec{
+		{Algorithm: AlgHashchain, Rate: 1250},
+		{Algorithm: AlgVanilla, Rate: 500},
+		fullSpec(),
+		{Algorithm: AlgCompresschain, Rate: 1,
+			Byzantine: &ByzantineSpec{Faulty: 1, Behaviors: []string{BehaviorInjectInvalid}}},
+	} {
+		once := sp.WithDefaults()
+		twice := once.WithDefaults()
+		if !reflect.DeepEqual(once, twice) {
+			t.Fatalf("WithDefaults not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+		}
+		if err := once.Validate(); err != nil {
+			t.Fatalf("defaulted spec invalid: %v", err)
+		}
+	}
+	d := ScenarioSpec{Algorithm: AlgVanilla, Rate: 1}.WithDefaults()
+	if d.Collector != 0 {
+		t.Fatalf("Vanilla must keep collector 0, got %d", d.Collector)
+	}
+	d = ScenarioSpec{Algorithm: AlgHashchain, Rate: 1,
+		Byzantine: &ByzantineSpec{Faulty: 1, Behaviors: []string{BehaviorInjectInvalid}}}.WithDefaults()
+	if d.Byzantine.InjectCount != 3 {
+		t.Fatalf("inject-invalid default count = %d, want 3", d.Byzantine.InjectCount)
+	}
+}
+
+func TestValidateCatchesByzantineMistakes(t *testing.T) {
+	base := func() ScenarioSpec { return withRate(100, hash(100)).WithDefaults() }
+	sp := base()
+	sp.Byzantine = &ByzantineSpec{Faulty: 10, Behaviors: []string{BehaviorSilent}}
+	if err := sp.Validate(); err == nil {
+		t.Error("faulty == servers accepted")
+	}
+	sp = base()
+	sp.Byzantine = &ByzantineSpec{Faulty: 1, Behaviors: []string{"explode"}}
+	if err := sp.Validate(); err == nil {
+		t.Error("unknown behavior accepted")
+	}
+	sp = base()
+	sp.Byzantine = &ByzantineSpec{Faulty: 1}
+	if err := sp.Validate(); err == nil {
+		t.Error("faulty without behaviors accepted")
+	}
+}
+
+func TestLabels(t *testing.T) {
+	cases := map[string]ScenarioSpec{
+		"Vanilla":                 vanilla(),
+		"Compresschain c=100":     compress(100),
+		"Hashchain c=500":         hash(500),
+		"Hashchain Light c=500":   light(hash(500)),
+		"Compresschain Light c=5": light(compress(5)),
+	}
+	for want, sp := range cases {
+		if got := sp.Label(); got != want {
+			t.Errorf("Label() = %q, want %q", got, want)
+		}
+	}
+	if got := named("custom", hash(100)).Label(); got != "custom" {
+		t.Errorf("named Label() = %q", got)
+	}
+}
+
+func TestSetAndParseAxis(t *testing.T) {
+	sp := withRate(100, hash(100))
+	for _, kv := range [][2]string{
+		{"servers", "16"}, {"delay", "30ms"}, {"crypto", "full"},
+		{"behaviors", "withhold-batches+corrupt-proofs"}, {"faulty", "2"},
+		{"rate", "5000"}, {"light", "true"}, {"send_for", "40"},
+	} {
+		if err := Set(&sp, kv[0], kv[1]); err != nil {
+			t.Fatalf("Set(%s=%s): %v", kv[0], kv[1], err)
+		}
+	}
+	if sp.Servers != 16 || sp.NetworkDelay.Std() != 30*time.Millisecond ||
+		sp.Crypto != CryptoFull || sp.Byzantine.Faulty != 2 ||
+		len(sp.Byzantine.Behaviors) != 2 || sp.Rate != 5000 || !sp.Light ||
+		sp.SendFor.Std() != 40*time.Second {
+		t.Fatalf("Set results wrong: %+v byz=%+v", sp, sp.Byzantine)
+	}
+	if err := Set(&sp, "warp", "9"); err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	if _, err := ParseAxis("servers=4,8,16"); err != nil {
+		t.Fatalf("ParseAxis: %v", err)
+	}
+	for _, bad := range []string{"servers", "servers=", "=4", "servers=4,,8", "servers=x"} {
+		if _, err := ParseAxis(bad); err == nil {
+			t.Errorf("ParseAxis(%q) accepted", bad)
+		}
+	}
+}
+
+func TestExpandCrossProduct(t *testing.T) {
+	ax1, _ := ParseAxis("servers=4,8")
+	ax2, _ := ParseAxis("delay=0s,30ms,100ms")
+	cells, err := Expand([]ScenarioSpec{withRate(100, hash(100))}, ax1, ax2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("len = %d, want 6", len(cells))
+	}
+	// Last axis varies fastest; names record the varied values.
+	if cells[0].Servers != 4 || cells[1].Servers != 4 || cells[2].Servers != 4 ||
+		cells[3].Servers != 8 {
+		t.Fatalf("outer axis order wrong: %+v", cells)
+	}
+	if cells[1].NetworkDelay.Std() != 30*time.Millisecond {
+		t.Fatalf("inner axis order wrong: %+v", cells[1])
+	}
+	if !strings.Contains(cells[5].Name, "servers=8") || !strings.Contains(cells[5].Name, "delay=100ms") {
+		t.Fatalf("name not tagged: %q", cells[5].Name)
+	}
+	// A single-valued axis overrides without tagging names.
+	one, _ := ParseAxis("crypto=full")
+	cells, err = Expand([]ScenarioSpec{named("x", hash(100))}, one)
+	if err != nil || len(cells) != 1 || cells[0].Crypto != CryptoFull || cells[0].Name != "x" {
+		t.Fatalf("single-value axis: %+v, %v", cells, err)
+	}
+}
+
+func TestExpandCopiesByzantine(t *testing.T) {
+	base := withRate(100, hash(100))
+	base.Byzantine = &ByzantineSpec{Faulty: 1, Behaviors: []string{BehaviorSilent}}
+	ax, _ := ParseAxis("faulty=1,2")
+	cells, err := Expand([]ScenarioSpec{base}, ax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Byzantine.Faulty != 1 || cells[1].Byzantine.Faulty != 2 {
+		t.Fatalf("byzantine aliasing across cells: %+v / %+v", cells[0].Byzantine, cells[1].Byzantine)
+	}
+	if base.Byzantine.Faulty != 1 {
+		t.Fatalf("base mutated: %+v", base.Byzantine)
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	vocab := []string{"fig1", "fig2left", "fig3a", "fig3b", "fig4", "table2"}
+	if got := Suggest("fig3", vocab); len(got) < 2 || got[0] != "fig3a" {
+		t.Fatalf("Suggest(fig3) = %v", got)
+	}
+	if got := Suggest("figg4", vocab); len(got) == 0 || got[0] != "fig4" {
+		t.Fatalf("Suggest(figg4) = %v", got)
+	}
+	if got := Suggest("tabel2", vocab); len(got) == 0 || got[0] != "table2" {
+		t.Fatalf("Suggest(tabel2) = %v", got)
+	}
+	if got := Suggest("zzzzzzz", vocab); len(got) != 0 {
+		t.Fatalf("Suggest(zzzzzzz) = %v", got)
+	}
+}

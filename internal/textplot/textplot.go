@@ -2,6 +2,8 @@
 // log-scale time series (Fig. 1, Fig. 2), grouped bar charts (Fig. 3,
 // Fig. 5) and CDF curves (Fig. 4). Output is plain text so the benchmark
 // harness can regenerate every figure without plotting dependencies.
+//
+// See DESIGN.md §2 (layering).
 package textplot
 
 import (

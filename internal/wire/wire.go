@@ -4,6 +4,8 @@
 // what ledger block packing, mempool capacity and network bandwidth
 // accounting operate on; in modeled mode the payload bytes themselves can
 // be omitted while size accounting stays exact.
+//
+// See DESIGN.md §6 (performance engineering: interned hot-path keys).
 package wire
 
 import (

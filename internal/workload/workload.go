@@ -4,6 +4,8 @@
 // distribution — mean ≈ 438 bytes, σ ≈ 753.5) injected at a controlled
 // aggregate sending rate split evenly across clients, each client adding to
 // its local server (paper §4, Experiment Scenarios).
+//
+// See DESIGN.md §2 (layering).
 package workload
 
 import (
