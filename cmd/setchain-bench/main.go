@@ -10,6 +10,9 @@
 //	setchain-bench -spec examples/specs/fig4.json
 //	setchain-bench -spec examples/specs/wan.json -matrix servers=4,8,16
 //	setchain-bench -exp fig4 -matrix delay=0s,30ms,100ms
+//	setchain-bench -exp chaos_partition          # scheduled partition+heal
+//	setchain-bench -exp fig4 -faults examples/specs/partition.json
+//	setchain-bench -exp fig4 -matrix drop=0,0.01,0.05
 //	setchain-bench -list
 //
 // Experiments come from the internal/spec registry (rendered into
@@ -20,9 +23,21 @@
 // a single -exp entry too, replacing the entry's custom rendering with
 // the generic results table (it does not combine with -exp all).
 //
-// -scale shrinks sending rates and windows proportionally (saturation
-// relationships against the fixed ledger/CPU capacities are preserved for
-// rates near or above the ceilings; use 1 for the paper's exact workloads).
+// -faults FILE loads a JSON fault plan (a spec.FaultSpec document: crash/
+// restart, partition/heal, per-link drop/duplicate/reorder probabilities
+// and delay spikes) and appends its events to every cell being run, on top
+// of whatever the cells already schedule. The chaos_* registry entries
+// ship ready-made plans; the drop/duplicate/reorder -matrix keys sweep
+// uniform link loss without a file. Like -matrix, -faults routes the
+// entry through the generic results table.
+//
+// Every scenario — faulted or not — ends with the internal/invariant
+// safety check; any violation is reported and the process exits nonzero.
+//
+// -scale shrinks sending rates, windows and fault schedules proportionally
+// (saturation relationships against the fixed ledger/CPU capacities are
+// preserved for rates near or above the ceilings; use 1 for the paper's
+// exact workloads).
 //
 // -workers caps the study executor's worker pool (default GOMAXPROCS);
 // independent study cells run concurrently, each simulation still
@@ -127,12 +142,22 @@ func main() {
 	specFile := flag.String("spec", "", "run a JSON scenario document instead of a registry experiment")
 	var matrix matrixFlags
 	flag.Var(&matrix, "matrix", "cross the cells over extra values, e.g. servers=4,8,16 (repeatable)")
-	scale := flag.Float64("scale", 1.0, "workload scale factor (rates and send windows)")
+	faultsFile := flag.String("faults", "", "apply a JSON fault plan (spec.FaultSpec) on top of every cell")
+	scale := flag.Float64("scale", 1.0, "workload scale factor (rates, send windows and fault schedules)")
 	list := flag.Bool("list", false, "list experiments with their descriptions")
 	workers := flag.Int("workers", 0, "study executor workers (0 = GOMAXPROCS)")
 	jsonOut := flag.String("json", "", "write a JSON perf baseline to this file")
 	flag.Parse()
 	harness.SetWorkers(*workers)
+
+	var faultPlan *spec.FaultSpec
+	if *faultsFile != "" {
+		var err error
+		if faultPlan, err = spec.LoadFaultFile(*faultsFile); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	if *list || (*exp == "" && *specFile == "") {
 		printCatalog()
@@ -177,6 +202,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}
+		cells = withFaults(cells, faultPlan)
 		timed(*specFile, "scenario document", func() {
 			if err := runCells(cells, *scale); err != nil {
 				fmt.Fprintf(os.Stderr, "%v\n", err)
@@ -184,13 +210,13 @@ func main() {
 			}
 		})
 	case *exp == "all":
-		if len(matrix) > 0 {
-			fmt.Fprintln(os.Stderr, "-matrix needs a single experiment (or -spec), not -exp all")
+		if len(matrix) > 0 || faultPlan != nil {
+			fmt.Fprintln(os.Stderr, "-matrix/-faults need a single experiment (or -spec), not -exp all")
 			os.Exit(2)
 		}
 		for _, e := range spec.All() {
 			e := e
-			timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, *scale) })
+			timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, faultPlan, *scale) })
 		}
 	default:
 		e, ok := spec.Get(*exp)
@@ -201,7 +227,7 @@ func main() {
 			}
 			os.Exit(2)
 		}
-		timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, *scale) })
+		timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, faultPlan, *scale) })
 	}
 
 	if *jsonOut != "" {
@@ -217,6 +243,33 @@ func main() {
 		}
 		fmt.Printf("baseline written to %s\n", *jsonOut)
 	}
+
+	// Every scenario executed above ran the end-of-run safety check; a
+	// violation anywhere is a hard failure regardless of which renderer
+	// displayed the run.
+	if v := harness.InvariantViolations(); v > 0 {
+		fmt.Fprintf(os.Stderr, "SAFETY: %d scenario(s) violated Setchain invariants (see output above)\n", v)
+		os.Exit(1)
+	}
+}
+
+// withFaults appends a -faults plan's events to every cell, on top of
+// whatever the cells already schedule.
+func withFaults(cells []spec.ScenarioSpec, fs *spec.FaultSpec) []spec.ScenarioSpec {
+	if fs == nil {
+		return cells
+	}
+	out := make([]spec.ScenarioSpec, len(cells))
+	for i, c := range cells {
+		var events []spec.FaultEventSpec
+		if c.Faults != nil {
+			events = append(events, c.Faults.Events...)
+		}
+		events = append(events, fs.Events...)
+		c.Faults = &spec.FaultSpec{Events: events}
+		out[i] = c
+	}
+	return out
 }
 
 // printCatalog renders the rich -list: every registry entry with the
@@ -259,15 +312,15 @@ func wrap(s string, width int) []string {
 }
 
 // runEntry runs one registry entry: through its figure-specific renderer
-// when it has one and no matrix overrides are in play, otherwise through
-// the generic results table over its (expanded) cells.
-func runEntry(e spec.Entry, matrix []spec.Axis, scale float64) {
-	if run, ok := runners[e.Name]; ok && len(matrix) == 0 {
+// when it has one and no matrix/fault overrides are in play, otherwise
+// through the generic results table over its (expanded) cells.
+func runEntry(e spec.Entry, matrix []spec.Axis, faultPlan *spec.FaultSpec, scale float64) {
+	if run, ok := runners[e.Name]; ok && len(matrix) == 0 && faultPlan == nil {
 		run(scale)
 		return
 	}
 	if len(e.Cells) == 0 {
-		fmt.Fprintf(os.Stderr, "entry %q is analytic: it has no cells to expand with -matrix\n", e.Name)
+		fmt.Fprintf(os.Stderr, "entry %q is analytic: it has no cells to expand with -matrix/-faults\n", e.Name)
 		os.Exit(2)
 	}
 	cells, err := spec.Expand(e.Cells, matrix...)
@@ -275,6 +328,7 @@ func runEntry(e spec.Entry, matrix []spec.Axis, scale float64) {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
 	}
+	cells = withFaults(cells, faultPlan)
 	if err := runCells(cells, scale); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
@@ -294,8 +348,17 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			stages = true
 		}
 	}
+	faulted := false
+	for _, c := range cells {
+		if c.Faults != nil && len(c.Faults.Events) > 0 {
+			faulted = true
+		}
+	}
 	headers := []string{"Scenario", "n", "Rate el/s", "Delay",
-		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic"}
+		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic", "Safety"}
+	if faulted {
+		headers = append(headers, "Faults")
+	}
 	if stages {
 		headers = append(headers, "p50 commit", "p99 commit")
 	}
@@ -305,6 +368,11 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 		label := cells[i].Label()
 		if cells[i].Group != "" {
 			label = cells[i].Group + " " + label
+		}
+		safety := "ok"
+		if res.Invariant != nil {
+			safety = "VIOLATED"
+			fmt.Fprintf(os.Stderr, "SAFETY VIOLATION in %q:\n%v\n", label, res.Invariant)
 		}
 		row := []string{
 			label,
@@ -316,6 +384,10 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			fmt.Sprintf("%.0f", res.AvgTput),
 			fmt.Sprintf("%.3f", res.Eff100),
 			fmt.Sprintf("%.0f", res.Analytical),
+			safety,
+		}
+		if faulted {
+			row = append(row, cells[i].Faults.Summary())
 		}
 		if stages {
 			p50, p99 := "-", "-"

@@ -23,9 +23,12 @@ import (
 )
 
 // Silent crashes a server at the network level: it neither sends nor
-// receives. Call with down=false to revive it.
+// receives. Call with down=false to revive it. The liveness change is
+// tagged with netsim.CauseByzantine, so it composes with scheduled fault
+// plans: a plan's restart event cannot revive a Byzantine-silent server,
+// and retracting the Byzantine fault leaves plan-installed crashes alone.
 func Silent(net *netsim.Network, id wire.NodeID, down bool) {
-	net.SetDown(id, down)
+	net.Faults().SetDown(id, netsim.CauseByzantine, down)
 }
 
 // InjectInvalid returns behavior that adds count invalid elements to every

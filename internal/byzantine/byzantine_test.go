@@ -4,7 +4,33 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
 )
+
+// Regression for the fault-state ownership bug: Silent used to flip the
+// node's raw down flag, so a scheduled fault plan crashing and restarting
+// the same node would silently revive a server that was supposed to stay
+// Byzantine-silent for the whole run. Both sources now go through netsim's
+// Faults controller under distinct causes.
+func TestSilentSurvivesPlanCrashRestart(t *testing.T) {
+	s := sim.New(1)
+	net := netsim.New(s, netsim.DefaultLANConfig())
+	net.AddNode(0, nil)
+	net.AddNode(1, nil)
+
+	Silent(net, 1, true)
+	f := net.Faults()
+	f.SetDown(1, netsim.CausePlan, true)  // plan crash
+	f.SetDown(1, netsim.CausePlan, false) // plan restart
+	if !f.Down(1) {
+		t.Fatal("plan restart revived a Byzantine-silent server")
+	}
+	Silent(net, 1, false)
+	if f.Down(1) {
+		t.Fatal("server down after the Byzantine fault was retracted")
+	}
+}
 
 func TestServeOnly(t *testing.T) {
 	b := ServeOnly(1, 2)

@@ -7,7 +7,10 @@
 //   - rotating proposers; a proposal carries the full block;
 //   - two voting phases (prevote, precommit) with 2f+1-of-3f+1 quorums;
 //   - value locking: once a validator precommits a block it only prevotes
-//     that block in later rounds until a newer quorum releases it;
+//     that block — or a later-round re-proposal of the same transactions —
+//     until a newer quorum releases it; a locked proposer re-proposes its
+//     locked value (the simplified proof-of-lock rule), which keeps the
+//     cluster live when message loss splits a round's locks;
 //   - timeouts with per-round escalation to skip faulty proposers;
 //   - catch-up: a validator that observes a precommit quorum for a block it
 //     never received requests the block from a voter.
@@ -249,6 +252,17 @@ type Node struct {
 	votes       map[int32]*roundVotes
 	lockedID    string
 	lockedRound int32
+	// lockedValue/lockedProposal track the VALUE behind lockedID: the
+	// round-independent identity of the locked block's transactions, and
+	// the proposal carrying them. Proposals are bound to their round (the
+	// blockID hashes it), so liveness under message loss needs the value:
+	// a locked proposer re-proposes the locked transactions in the new
+	// round, and other validators recognize the re-proposal as their
+	// locked value even though its blockID differs (the simplified form
+	// of Tendermint's proof-of-lock re-proposal). lockedValue is empty
+	// when the locked proposal was never received (vote-only lock).
+	lockedValue    string
+	lockedProposal *Proposal
 
 	chain []*wire.Block
 	// decidedProps/decidedCommits retain the proposals and precommit
@@ -425,8 +439,7 @@ func (n *Node) sweep() {
 		if rv := n.votes[n.round]; rv != nil {
 			if id, ok := rv.quorumBlockID(VotePrevote, n.Quorum()); ok {
 				if id != nilBlockID {
-					n.lockedID = id
-					n.lockedRound = n.round
+					n.lockOn(n.round, id)
 				}
 				n.advanceToPrecommit(id)
 			}
@@ -453,10 +466,34 @@ func (n *Node) blockID(height uint64, round int32, proposer wire.NodeID, txs []*
 	return string(n.suite.HashData(buf))
 }
 
+// valueID is the round- and proposer-independent identity of a block's
+// contents at a height. Locking tracks it alongside the blockID so a
+// re-proposal of the same transactions in a later round is recognized as
+// the locked value.
+func (n *Node) valueID(height uint64, txs []*wire.Tx) string {
+	buf := n.keyBuf[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, height)
+	for _, tx := range txs {
+		buf = tx.AppendKey(buf)
+	}
+	n.keyBuf = buf
+	return string(n.suite.HashData(buf))
+}
+
 func (n *Node) propose(r int32) {
-	txs := n.pool.Reap(n.params.MaxBlockBytes)
-	if n.mutator != nil {
-		txs = n.mutator(txs)
+	// A locked proposer re-proposes the locked value verbatim (Tendermint's
+	// proof-of-lock rule, simplified): without this, a round-0 lock split
+	// under message loss leaves every later proposal unable to gather a
+	// prevote quorum and the height stalls forever. The Byzantine mutator
+	// applies only to fresh reaps — a locked value is already fixed.
+	var txs []*wire.Tx
+	if n.lockedProposal != nil {
+		txs = n.lockedProposal.Block.Txs
+	} else {
+		txs = n.pool.Reap(n.params.MaxBlockBytes)
+		if n.mutator != nil {
+			txs = n.mutator(txs)
+		}
 	}
 	bytes := 0
 	for _, tx := range txs {
@@ -571,11 +608,14 @@ func (n *Node) tryPrevote(p *Proposal) {
 	if n.decided || n.step != StepPropose || p.Round != n.round {
 		return
 	}
-	// Locking rule: if locked on a block from an earlier round, prevote it
-	// unless this proposal is that very block.
+	// Locking rule: if locked on a block from an earlier round, prevote
+	// only that block — or a later-round re-proposal of the same VALUE
+	// (same transactions), which is how a locked cluster regains liveness.
 	id := p.BlockID
 	if n.lockedID != nilBlockID && n.lockedID != id {
-		id = nilBlockID
+		if n.lockedValue == "" || n.valueID(p.Height, p.Block.Txs) != n.lockedValue {
+			id = nilBlockID
+		}
 	}
 	n.step = StepPrevote
 	n.castVote(VotePrevote, id)
@@ -661,8 +701,7 @@ func (n *Node) handleVote(v *Vote) {
 			if id, ok := rv.quorumBlockID(VotePrevote, q); ok && n.step == StepPrevote {
 				if id != nilBlockID {
 					// Lock and precommit the quorum block.
-					n.lockedID = id
-					n.lockedRound = n.round
+					n.lockOn(n.round, id)
 					n.advanceToPrecommit(id)
 				} else {
 					n.advanceToPrecommit(nilBlockID)
@@ -682,6 +721,25 @@ func (n *Node) handleVote(v *Vote) {
 	} else if v.Type == VotePrecommit {
 		// Precommit quorum can complete for a round other than ours.
 		n.tryCommit(v.Round)
+	}
+}
+
+// lockOn records a prevote quorum for blockID at round as the node's lock,
+// tracking the underlying value when the proposal is known so the lock can
+// be re-proposed (and recognized) in later rounds. A newer quorum always
+// replaces an older lock, as in Tendermint.
+func (n *Node) lockOn(round int32, blockID string) {
+	n.lockedID = blockID
+	n.lockedRound = round
+	if p := n.proposals[round]; p != nil && p.BlockID == blockID {
+		n.lockedProposal = p
+		n.lockedValue = n.valueID(p.Height, p.Block.Txs)
+	} else {
+		// Vote-only lock: the quorum arrived but the proposal was lost.
+		// The value stays unknown, so this node can only re-prevote the
+		// exact blockID (catch-up recovers the block if it commits).
+		n.lockedProposal = nil
+		n.lockedValue = nilBlockID
 	}
 }
 
@@ -799,6 +857,8 @@ func (n *Node) commit(p *Proposal) {
 	n.votes = make(map[int32]*roundVotes)
 	n.lockedID = nilBlockID
 	n.lockedRound = -1
+	n.lockedValue = nilBlockID
+	n.lockedProposal = nil
 	n.round = 0
 	n.step = StepPropose
 

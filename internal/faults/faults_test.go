@@ -1,0 +1,103 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func network(t *testing.T, n int) (*sim.Simulator, *netsim.Network) {
+	t.Helper()
+	s := sim.New(1)
+	net := netsim.New(s, netsim.Config{BaseLatency: time.Millisecond})
+	for i := 0; i < n; i++ {
+		net.AddNode(wire.NodeID(i), func(wire.NodeID, any, int) {})
+	}
+	return s, net
+}
+
+func TestInstallExecutesOnSchedule(t *testing.T) {
+	s, net := network(t, 4)
+	p := Plan{Events: []Event{
+		{At: 10 * time.Millisecond, Kind: Crash, Nodes: []wire.NodeID{3}},
+		{At: 20 * time.Millisecond, Kind: Partition,
+			Groups: [][]wire.NodeID{{0, 1}, {2}}},
+		{At: 30 * time.Millisecond, Kind: Restart, Nodes: []wire.NodeID{3}},
+		{At: 40 * time.Millisecond, Kind: Heal},
+		{At: 50 * time.Millisecond, Kind: Link, From: []wire.NodeID{0},
+			To: []wire.NodeID{1}, Fault: netsim.LinkFault{Drop: 0.5}},
+	}}
+	p.Install(s, net)
+	f := net.Faults()
+
+	s.RunUntil(15 * time.Millisecond)
+	if !f.Down(3) {
+		t.Fatal("crash event did not take node 3 down")
+	}
+	s.RunUntil(25 * time.Millisecond)
+	if !f.Blocked(0, 2) || !f.Blocked(2, 1) || f.Blocked(0, 1) {
+		t.Fatal("partition blocks wrong links")
+	}
+	if f.Blocked(0, 3) || f.Blocked(3, 0) {
+		t.Fatal("node absent from every group lost connectivity")
+	}
+	s.RunUntil(35 * time.Millisecond)
+	if f.Down(3) {
+		t.Fatal("restart event did not revive node 3")
+	}
+	s.RunUntil(45 * time.Millisecond)
+	if f.Blocked(0, 2) {
+		t.Fatal("heal event did not clear the partition")
+	}
+	s.RunUntil(55 * time.Millisecond)
+	if f.Link(0, 1).Drop != 0.5 || f.Link(1, 0).Drop != 0.5 {
+		t.Fatal("link event did not install the fault in both directions")
+	}
+}
+
+func TestLinkEventEmptyScopeMeansAllLinks(t *testing.T) {
+	s, net := network(t, 3)
+	Plan{Events: []Event{{Kind: Link, Fault: netsim.LinkFault{Drop: 0.1}}}}.Install(s, net)
+	s.RunUntil(time.Millisecond)
+	f := net.Faults()
+	for _, u := range net.NodeIDs() {
+		for _, v := range net.NodeIDs() {
+			if u == v {
+				continue
+			}
+			if f.Link(u, v).Drop != 0.1 {
+				t.Fatalf("link %d→%d missing the all-links fault", u, v)
+			}
+		}
+	}
+}
+
+func TestEmptyPlanIsNoOp(t *testing.T) {
+	s, net := network(t, 2)
+	var p Plan
+	if !p.Empty() {
+		t.Fatal("zero plan not empty")
+	}
+	p.Install(s, net)
+	if s.Pending() != 0 {
+		t.Fatal("empty plan scheduled events")
+	}
+	_ = net
+}
+
+// Install must tolerate ids outside the deployment (validation is the
+// spec layer's job; netsim ignores fault state for unknown nodes).
+func TestInstallToleratesUnknownNodes(t *testing.T) {
+	s, net := network(t, 2)
+	Plan{Events: []Event{
+		{Kind: Crash, Nodes: []wire.NodeID{9}},
+		{Kind: Partition, Groups: [][]wire.NodeID{{0}, {9}}},
+	}}.Install(s, net)
+	s.RunUntil(time.Millisecond)
+	if net.Faults().Down(0) || net.Faults().Down(1) {
+		t.Fatal("unknown-node events disturbed real nodes")
+	}
+}

@@ -6,8 +6,11 @@ import (
 
 	"repro/internal/byzantine"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/metrics"
+	"repro/internal/netsim"
 	"repro/internal/spec"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -74,7 +77,59 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 			InjectCount: b.InjectCount,
 		}
 	}
+	sc.Faults = FaultPlanFromSpec(sp.Faults)
 	return sc, nil
+}
+
+// FaultPlanFromSpec converts the declarative fault schedule into the
+// executable plan the simulator installs. The spec's action names are the
+// plan's Kind strings, so the mapping is mechanical; spec.Validate has
+// already checked ranges and probabilities by the time FromSpec calls this.
+func FaultPlanFromSpec(fs *spec.FaultSpec) faults.Plan {
+	if fs == nil || len(fs.Events) == 0 {
+		return faults.Plan{}
+	}
+	plan := faults.Plan{Events: make([]faults.Event, len(fs.Events))}
+	for i, ev := range fs.Events {
+		plan.Events[i] = faults.Event{
+			At:     ev.At.Std(),
+			Kind:   faults.Kind(ev.Action),
+			Nodes:  nodeIDs(ev.Nodes),
+			Groups: nodeGroups(ev.Groups),
+			From:   nodeIDs(ev.From),
+			To:     nodeIDs(ev.To),
+			Fault: netsim.LinkFault{
+				Drop:         ev.Drop,
+				Duplicate:    ev.Duplicate,
+				Reorder:      ev.Reorder,
+				ReorderDelay: ev.ReorderDelay.Std(),
+				ExtraDelay:   ev.Delay.Std(),
+			},
+		}
+	}
+	return plan
+}
+
+func nodeIDs(ids []int) []wire.NodeID {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]wire.NodeID, len(ids))
+	for i, id := range ids {
+		out[i] = wire.NodeID(id)
+	}
+	return out
+}
+
+func nodeGroups(groups [][]int) [][]wire.NodeID {
+	if len(groups) == 0 {
+		return nil
+	}
+	out := make([][]wire.NodeID, len(groups))
+	for i, g := range groups {
+		out[i] = nodeIDs(g)
+	}
+	return out
 }
 
 // FromSpecScaled converts the spec and applies a run-time scale factor on

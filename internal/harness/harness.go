@@ -13,17 +13,21 @@ package harness
 import (
 	"fmt"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/consensus"
 	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/invariant"
 	"repro/internal/ledger"
 	"repro/internal/mempool"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/setcrypto"
 	"repro/internal/sim"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -87,8 +91,9 @@ type Scenario struct {
 	NetworkDelay time.Duration // network_delay: 0, 30, 100 ms
 	Seed         int64
 	Level        metrics.Level
-	// Scale multiplies Rate and SendFor (and leaves ceilings untouched);
-	// used to shrink the largest runs for quick regression passes. 0 = 1.
+	// Scale multiplies Rate and SendFor and shrinks the Faults timeline
+	// (and leaves ceilings untouched); used to shrink the largest runs for
+	// quick regression passes. 0 = 1.
 	Scale float64
 	// Mode selects crypto fidelity: Modeled (default, the evaluation) or
 	// Full (real ed25519/SHA-512/Deflate over real payloads).
@@ -102,6 +107,10 @@ type Scenario struct {
 	Tick  time.Duration
 	// Byzantine makes the highest-indexed servers faulty.
 	Byzantine ByzantineCfg
+	// Faults schedules deterministic network fault injection (crashes,
+	// partitions, link loss) as simulator events; the zero Plan is
+	// fault-free. Usually built from a spec.FaultSpec by FromSpec.
+	Faults faults.Plan
 }
 
 // ByzantineCfg configures faulty servers for a scenario. The zero value
@@ -164,6 +173,12 @@ type Result struct {
 	// Blocks is the ledger height reached; Events the simulator events.
 	Blocks int
 	Events uint64
+	// Invariant is the end-of-run safety verdict: nil when every Setchain
+	// safety invariant held across the correct servers (internal/invariant;
+	// checked on every scenario, faulted or not). A non-nil value is a
+	// safety violation — a bug in the system under test or the checker —
+	// and also increments the package-wide InvariantViolations counter.
+	Invariant error
 }
 
 // Run executes one scenario to its horizon and gathers measurements.
@@ -211,6 +226,7 @@ func runScenario(sc Scenario) *Result {
 	}
 	d := core.Deploy(s, n, lcfg, opts, rec)
 	applyByzantine(d, sc.Byzantine)
+	sc.Faults.Scaled(sc.Scale).Install(s, d.Ledger.Net)
 
 	gen := workload.New(d, rec, workload.Config{
 		Rate:         sc.Rate,
@@ -218,6 +234,7 @@ func runScenario(sc Scenario) *Result {
 		Sizes:        sc.Sizes,
 		Tick:         sc.Tick,
 		FullPayloads: sc.Mode == core.Full,
+		TrackIDs:     true, // the invariant checker compares against these
 	})
 	d.Start()
 	gen.Start()
@@ -245,7 +262,47 @@ func runScenario(sc Scenario) *Result {
 			res.CommitFrac[pct] = t
 		}
 	}
+	// Safety invariants are checked on EVERY scenario — chaos or not — so
+	// any run of any study doubles as a machine-checked safety argument.
+	res.Invariant = invariant.Check(d, invariant.Config{
+		Correct:         correctServerIDs(sc.Servers, sc.Byzantine),
+		Injected:        gen.InjectedIDs(),
+		CommittedEpochs: rec.CommittedEpochSizes(),
+		Observer:        0,
+	})
+	if res.Invariant != nil {
+		invariantViolations.Add(1)
+	}
 	return res
+}
+
+// invariantViolations counts scenarios whose end-of-run invariant check
+// failed, process-wide, so batch drivers (setchain-bench) can fail loudly
+// even when a study's renderer ignores individual Results.
+var invariantViolations atomic.Uint64
+
+// InvariantViolations reports how many scenarios failed the end-of-run
+// safety check since process start.
+func InvariantViolations() uint64 { return invariantViolations.Load() }
+
+// correctServerIDs lists the servers applyByzantine left correct: all of
+// them, minus the Faulty highest-indexed ones (server 0, the metrics
+// observer, is never made faulty). Plan-scheduled crashes do NOT remove a
+// server from this list — a crashed-but-honest server's history must still
+// be a consistent prefix.
+func correctServerIDs(n int, cfg ByzantineCfg) []wire.NodeID {
+	firstFaulty := n
+	if cfg.Faulty > 0 && len(cfg.Behaviors) > 0 {
+		firstFaulty = n - cfg.Faulty
+		if firstFaulty < 1 {
+			firstFaulty = 1 // mirror applyByzantine: server 0 stays correct
+		}
+	}
+	ids := make([]wire.NodeID, 0, firstFaulty)
+	for i := 0; i < firstFaulty; i++ {
+		ids = append(ids, wire.NodeID(i))
+	}
+	return ids
 }
 
 // ParameterGrid reproduces Table 1: the evaluation's parameter space.

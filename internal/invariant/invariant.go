@@ -1,0 +1,188 @@
+// Package invariant machine-checks Setchain safety on a finished
+// deployment: after every harness run — chaos or not — the final state of
+// every correct server is compared against the injected workload and
+// against the other correct servers. The checks are the paper's safety
+// properties made executable:
+//
+//   - monotone epoch growth: a server's history is numbered 1..k with no
+//     gaps or repeats (Setchain's epochs only ever grow);
+//   - epoch-prefix consistency: any two correct servers agree on the
+//     common prefix of their histories — same epoch hashes and the same
+//     element sequences (Get-Global/Consistent-Sets: histories of correct
+//     servers are prefixes of one common history);
+//   - no duplication: an element is stamped with at most one epoch per
+//     server (the_set is a set);
+//   - no fabrication: every element in a correct history was injected by
+//     the workload's clients and is valid — a Byzantine server cannot
+//     smuggle elements into correct servers' histories;
+//   - no loss: every epoch the experiment's observer saw commit (f+1
+//     epoch-proofs on the ledger) is present in the observer's history
+//     with exactly the element count recorded at creation.
+//
+// Prefix consistency is the load-bearing check: epochs are
+// order-sensitive hashes of their element sequences, so two correct
+// servers agreeing on epoch k's hash agree on every element (and order)
+// up to k; combined with no-fabrication over the injected set, any
+// committed element a run could lose or invent shows up as a finite-state
+// difference the checker catches. See DESIGN.md §8 for the safety
+// argument.
+//
+// The checker must not be vacuously green: harness tests corrupt a
+// correct server's ledger on purpose and assert the checker fails
+// (TestCheckerDetectsCorruption in this package's tests).
+package invariant
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// Config scopes a check to what the experiment knows.
+type Config struct {
+	// Correct lists the servers assumed correct. Byzantine servers are
+	// excluded (their local state may be arbitrary); crashed-but-honest
+	// servers belong here — a crash truncates a history, it must never
+	// corrupt it.
+	Correct []wire.NodeID
+	// Injected is the set of element ids the workload's clients created
+	// and servers accepted. Nil skips the fabrication check.
+	Injected map[wire.ElementID]struct{}
+	// CommittedEpochs maps epoch number → element count for every epoch
+	// the observer saw gain f+1 epoch-proofs on the ledger
+	// (metrics.Recorder.CommittedEpochSizes). Nil skips the loss check.
+	CommittedEpochs map[uint64]int
+	// Observer is the server whose observations defined commitment
+	// (the harness uses server 0).
+	Observer wire.NodeID
+}
+
+// Check verifies every invariant against the deployment's final state and
+// returns all violations joined into one error, or nil. Call it after the
+// run stopped; it only reads server state.
+func Check(d *core.Deployment, cfg Config) error {
+	var errs []error
+	snaps := make(map[wire.NodeID]core.Snapshot, len(cfg.Correct))
+	for _, id := range cfg.Correct {
+		if int(id) < 0 || int(id) >= len(d.Servers) {
+			errs = append(errs, fmt.Errorf("correct server %d not in deployment of %d", id, len(d.Servers)))
+			continue
+		}
+		snaps[id] = d.Servers[id].Get()
+	}
+
+	// Per-server checks: monotone numbering, no duplication, no
+	// fabrication — one pass over each correct history.
+	for _, id := range cfg.Correct {
+		snap, ok := snaps[id]
+		if !ok {
+			continue
+		}
+		seen := make(map[wire.ElementID]uint64, len(snap.TheSet))
+		for i, ep := range snap.History {
+			if ep.Number != uint64(i+1) {
+				errs = append(errs, fmt.Errorf(
+					"server %d: non-monotone history: epoch at position %d is numbered %d",
+					id, i, ep.Number))
+			}
+			for _, e := range ep.Elements {
+				if prev, dup := seen[e.ID]; dup {
+					errs = append(errs, fmt.Errorf(
+						"server %d: element %v duplicated: epochs %d and %d",
+						id, e.ID, prev, ep.Number))
+				}
+				seen[e.ID] = ep.Number
+				if e.Bogus {
+					errs = append(errs, fmt.Errorf(
+						"server %d: invalid (bogus) element %v committed in epoch %d",
+						id, e.ID, ep.Number))
+				}
+				if cfg.Injected != nil {
+					if _, ok := cfg.Injected[e.ID]; !ok {
+						errs = append(errs, fmt.Errorf(
+							"server %d: fabricated element %v in epoch %d: never injected by the workload",
+							id, e.ID, ep.Number))
+					}
+				}
+			}
+		}
+	}
+
+	// Epoch-prefix consistency: compare every correct server against the
+	// correct server with the longest history. Pairwise agreement follows
+	// transitively, and one reference keeps the pass O(n·history) instead
+	// of O(n²·history).
+	var ref wire.NodeID
+	refLen := -1
+	for _, id := range cfg.Correct {
+		if snap, ok := snaps[id]; ok && len(snap.History) > refLen {
+			ref, refLen = id, len(snap.History)
+		}
+	}
+	if refLen >= 0 {
+		refHist := snaps[ref].History
+		for _, id := range cfg.Correct {
+			snap, ok := snaps[id]
+			if !ok || id == ref {
+				continue
+			}
+			for i, ep := range snap.History {
+				re := refHist[i]
+				if !bytes.Equal(ep.Hash, re.Hash) {
+					errs = append(errs, fmt.Errorf(
+						"servers %d and %d diverge: epoch %d hashes differ", id, ref, i+1))
+				}
+				if err := sameElements(ep, re); err != nil {
+					errs = append(errs, fmt.Errorf("servers %d and %d diverge at epoch %d: %w",
+						id, ref, i+1, err))
+				}
+			}
+		}
+	}
+
+	// No committed element lost: every epoch the observer saw commit must
+	// still be in the observer's history with the recorded element count.
+	// (Prefix consistency then extends the guarantee to every correct
+	// server whose history reaches that epoch.)
+	if cfg.CommittedEpochs != nil {
+		obs, ok := snaps[cfg.Observer]
+		if !ok && len(cfg.CommittedEpochs) > 0 {
+			errs = append(errs, fmt.Errorf(
+				"observer %d not among correct servers; cannot verify %d committed epochs",
+				cfg.Observer, len(cfg.CommittedEpochs)))
+		} else {
+			for epoch, count := range cfg.CommittedEpochs {
+				if epoch == 0 || epoch > uint64(len(obs.History)) {
+					errs = append(errs, fmt.Errorf(
+						"committed epoch %d lost: observer %d history ends at epoch %d",
+						epoch, cfg.Observer, len(obs.History)))
+					continue
+				}
+				if got := len(obs.History[epoch-1].Elements); got != count {
+					errs = append(errs, fmt.Errorf(
+						"committed epoch %d on observer %d has %d elements, recorder saw %d at creation",
+						epoch, cfg.Observer, got, count))
+				}
+			}
+		}
+	}
+
+	return errors.Join(errs...)
+}
+
+// sameElements compares two epochs' element-id sequences (order matters:
+// the epoch hash is order-sensitive).
+func sameElements(a, b *core.Epoch) error {
+	if len(a.Elements) != len(b.Elements) {
+		return fmt.Errorf("%d vs %d elements", len(a.Elements), len(b.Elements))
+	}
+	for i := range a.Elements {
+		if a.Elements[i].ID != b.Elements[i].ID {
+			return fmt.Errorf("element %d: %v vs %v", i, a.Elements[i].ID, b.Elements[i].ID)
+		}
+	}
+	return nil
+}

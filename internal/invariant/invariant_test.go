@@ -1,0 +1,175 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// runSmall executes a small fault-free Hashchain run and returns the
+// deployment plus the checker Config describing it.
+func runSmall(t *testing.T) (*core.Deployment, Config) {
+	t.Helper()
+	s := sim.New(1)
+	const n = 4
+	f := (n - 1) / 2
+	rec := metrics.New(s, metrics.LevelThroughput, n, f, 0)
+	d := core.Deploy(s, n, ledger.Config{
+		Net:       netsim.DefaultLANConfig(),
+		Consensus: consensus.PaperParams(),
+		Mempool:   mempool.PaperConfig(),
+	}, core.Options{
+		Algorithm:      core.Hashchain,
+		CollectorLimit: 100,
+		Costs:          core.PaperCostModel(),
+		F:              f,
+	}, rec)
+	gen := workload.New(d, rec, workload.Config{
+		Rate: 400, Duration: 6 * time.Second, TrackIDs: true,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(25 * time.Second)
+	d.Stop()
+	if rec.TotalCommitted() == 0 {
+		t.Fatal("small run committed nothing; checker would be vacuous")
+	}
+	return d, Config{
+		Correct:         []wire.NodeID{0, 1, 2, 3},
+		Injected:        gen.InjectedIDs(),
+		CommittedEpochs: rec.CommittedEpochSizes(),
+		Observer:        0,
+	}
+}
+
+func TestCheckerPassesOnCorrectRun(t *testing.T) {
+	d, cfg := runSmall(t)
+	if err := Check(d, cfg); err != nil {
+		t.Fatalf("correct run violates invariants: %v", err)
+	}
+}
+
+// lastEpoch returns a server's last epoch with at least one element.
+func lastEpoch(t *testing.T, d *core.Deployment, id int) *core.Epoch {
+	t.Helper()
+	hist := d.Servers[id].Get().History
+	for i := len(hist) - 1; i >= 0; i-- {
+		if len(hist[i].Elements) > 0 {
+			return hist[i]
+		}
+	}
+	t.Fatalf("server %d has no non-empty epoch", id)
+	return nil
+}
+
+// The mutation smoke tests: the checker must detect a deliberately
+// corrupted ledger, proving it is not vacuously green.
+func TestCheckerDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, d *core.Deployment)
+		want   string
+	}{
+		{
+			name: "element dropped from one server's epoch",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				ep := lastEpoch(t, d, 1)
+				ep.Elements = ep.Elements[:len(ep.Elements)-1]
+			},
+			want: "diverge",
+		},
+		{
+			name: "fabricated element swapped into one server's epoch",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				ep := lastEpoch(t, d, 2)
+				forged := *ep.Elements[0]
+				forged.ID = wire.ElementID{0xDE, 0xAD, 0xBE, 0xEF}
+				ep.Elements[0] = &forged
+			},
+			want: "fabricated",
+		},
+		{
+			name: "epoch renumbered",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				lastEpoch(t, d, 3).Number += 7
+			},
+			want: "non-monotone",
+		},
+		{
+			name: "committed epoch emptied on the observer",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				// Find a committed epoch the recorder saw with elements and
+				// erase its contents on the observer: the loss check must
+				// notice the count no longer matches what committed.
+				hist := d.Servers[0].Get().History
+				for i := len(hist) - 1; i >= 0; i-- {
+					if len(hist[i].Elements) > 0 {
+						hist[i].Elements = nil
+						return
+					}
+				}
+				t.Skip("no non-empty epoch on the observer")
+			},
+			want: "",
+		},
+		{
+			name: "element duplicated across epochs",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				hist := d.Servers[1].Get().History
+				var nonEmpty []*core.Epoch
+				for _, ep := range hist {
+					if len(ep.Elements) > 0 {
+						nonEmpty = append(nonEmpty, ep)
+					}
+				}
+				if len(nonEmpty) < 2 {
+					t.Skip("need two non-empty epochs")
+				}
+				last := nonEmpty[len(nonEmpty)-1]
+				last.Elements[0] = nonEmpty[0].Elements[0]
+			},
+			want: "duplicated",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, cfg := runSmall(t)
+			tc.mutate(t, d)
+			err := Check(d, cfg)
+			if err == nil {
+				t.Fatal("checker stayed green on a corrupted ledger")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("violation %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckerFlagsMissingObserver(t *testing.T) {
+	d, cfg := runSmall(t)
+	cfg.Correct = []wire.NodeID{1, 2, 3} // observer 0 excluded
+	err := Check(d, cfg)
+	if err == nil || !strings.Contains(err.Error(), "observer") {
+		t.Fatalf("want observer error, got %v", err)
+	}
+}
+
+func TestCheckerNilSetsSkipOptionalChecks(t *testing.T) {
+	d, cfg := runSmall(t)
+	cfg.Injected = nil
+	cfg.CommittedEpochs = nil
+	if err := Check(d, cfg); err != nil {
+		t.Fatalf("structural checks alone should pass: %v", err)
+	}
+}

@@ -256,6 +256,18 @@ func (r *Recorder) ProofOnLedger(node wire.NodeID, epoch uint64, signer wire.Nod
 	}
 }
 
+// CommittedEpochSizes returns, for every epoch the observer saw reach f+1
+// epoch-proofs on the ledger, the element count the observer recorded at
+// epoch creation. The invariant checker replays this against the servers'
+// final histories (no committed element lost).
+func (r *Recorder) CommittedEpochSizes() map[uint64]int {
+	out := make(map[uint64]int, len(r.epochDone))
+	for ep := range r.epochDone {
+		out[ep] = r.epochElems[ep]
+	}
+	return out
+}
+
 // TotalInjected returns the number of elements clients created.
 func (r *Recorder) TotalInjected() uint64 { return r.totalInj }
 

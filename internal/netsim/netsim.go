@@ -5,11 +5,17 @@
 //
 // Reliability matches the paper's model ("messages sent between correct
 // processes are eventually delivered only once, and no spurious messages
-// are generated"): delivery is guaranteed and exactly-once, though delayed.
-// Byzantine behavior is modeled at the protocol layer, not by corrupting
-// the network.
+// are generated"): by default delivery is guaranteed and exactly-once,
+// though delayed. Byzantine behavior is modeled at the protocol layer, not
+// by corrupting the network.
 //
-// See DESIGN.md §2 (layering).
+// Chaos scenarios deliberately break that default through the Faults
+// controller (faults.go): node crashes, link-level partitions, and
+// per-link message drop/duplication/reordering and delay spikes. All fault
+// state has a single owner — Faults — and every mutation is tagged with a
+// Cause so independent fault sources compose (DESIGN.md §8).
+//
+// See DESIGN.md §2 (layering) and §8 (fault model).
 package netsim
 
 import (
@@ -52,9 +58,10 @@ func DefaultLANConfig() Config {
 
 // Network is the simulated cluster fabric.
 type Network struct {
-	sim   *sim.Simulator
-	cfg   Config
-	nodes map[wire.NodeID]*node
+	sim    *sim.Simulator
+	cfg    Config
+	nodes  map[wire.NodeID]*node
+	faults *Faults // lazily created by Faults(); nil until any fault exists
 
 	// Stats.
 	messages  uint64
@@ -65,7 +72,9 @@ type node struct {
 	id      wire.NodeID
 	handler Handler
 	egress  *sim.Resource
-	down    bool
+	// down caches whether any fault cause currently holds the node down;
+	// only Faults.SetDown writes it (single fault-state owner).
+	down bool
 
 	bytesOut uint64
 	msgsOut  uint64
@@ -90,12 +99,12 @@ func (n *Network) AddNode(id wire.NodeID, h Handler) {
 	}
 }
 
-// SetDown marks a node as crashed: it neither sends nor receives. Used to
-// model silent Byzantine servers and crash faults.
+// SetDown marks a node as crashed: it neither sends nor receives. It is a
+// convenience shim over Faults().SetDown with CauseManual; fault sources
+// with their own lifecycle (Byzantine presets, scheduled plans) should use
+// the Faults controller directly so their state composes.
 func (n *Network) SetDown(id wire.NodeID, down bool) {
-	if nd, ok := n.nodes[id]; ok {
-		nd.down = down
-	}
+	n.Faults().SetDown(id, CauseManual, down)
 }
 
 // NodeIDs returns the registered node ids in ascending order.
@@ -114,10 +123,12 @@ func (n *Network) NodeIDs() []wire.NodeID {
 }
 
 // Send transmits payload of the given wire size from one node to another.
-// Delivery is reliable and exactly-once; latency is transmission time
-// (size/bandwidth, serialized per sender) plus propagation (base + extra +
-// jitter). Sending to self delivers after a negligible loopback delay and
-// does not consume egress bandwidth.
+// On a fault-free link delivery is reliable and exactly-once; latency is
+// transmission time (size/bandwidth, serialized per sender) plus
+// propagation (base + extra + jitter). Installed link faults may drop,
+// duplicate, hold back (reorder) or further delay the message. Sending to
+// self delivers after a negligible loopback delay, does not consume egress
+// bandwidth, and is never subject to link faults.
 func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
 	src, ok := n.nodes[from]
 	if !ok {
@@ -140,10 +151,33 @@ func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
 		return
 	}
 
-	prop := n.cfg.BaseLatency + n.cfg.ExtraDelay
+	// Link faults. All probability draws happen here, at send time, in
+	// event order, so runs stay deterministic per seed; a run with no fault
+	// state installed draws exactly the random values it always did.
+	var lf LinkFault
+	if n.faults != nil && n.faults.linkActive() {
+		if n.faults.Blocked(from, to) {
+			n.faults.dropped++
+			return
+		}
+		lf = n.faults.Link(from, to)
+		if lf.Drop > 0 && n.sim.Rand().Float64() < lf.Drop {
+			n.faults.dropped++
+			return
+		}
+	}
+
+	prop := n.cfg.BaseLatency + n.cfg.ExtraDelay + lf.ExtraDelay
 	if n.cfg.Jitter > 0 {
 		prop += time.Duration(n.sim.Rand().Int63n(int64(n.cfg.Jitter)))
 	}
+	if lf.Reorder > 0 && n.sim.Rand().Float64() < lf.Reorder {
+		n.faults.reordered++
+		if lf.ReorderDelay > 0 {
+			prop += time.Duration(n.sim.Rand().Int63n(int64(lf.ReorderDelay)))
+		}
+	}
+	dup := lf.Duplicate > 0 && n.sim.Rand().Float64() < lf.Duplicate
 	var txTime time.Duration
 	if n.cfg.Bandwidth > 0 {
 		txTime = time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
@@ -152,6 +186,10 @@ func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
 	// concurrently with later transmissions.
 	src.egress.Submit(txTime, func() {
 		n.sim.After(prop, func() { n.deliver(src.id, dst, payload, size) })
+		if dup {
+			n.faults.duplicated++
+			n.sim.After(prop+n.cfg.BaseLatency, func() { n.deliver(src.id, dst, payload, size) })
+		}
 	})
 }
 

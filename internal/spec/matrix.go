@@ -111,6 +111,24 @@ func Set(s *ScenarioSpec, key, value string) error {
 			s.Byzantine = &ByzantineSpec{Faulty: 1}
 		}
 		s.Byzantine.InjectCount = v
+	case "drop":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fail(err)
+		}
+		baseLinkEvent(s).Drop = v
+	case "duplicate", "dup":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fail(err)
+		}
+		baseLinkEvent(s).Duplicate = v
+	case "reorder":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fail(err)
+		}
+		baseLinkEvent(s).Reorder = v
 	default:
 		return fmt.Errorf("unknown spec field %q (known: %s)",
 			key, strings.Join(overrideKeys, ", "))
@@ -123,6 +141,24 @@ var overrideKeys = []string{
 	"name", "group", "algorithm", "collector", "light", "servers", "rate",
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
+	"drop", "duplicate", "reorder",
+}
+
+// baseLinkEvent finds (or creates) the spec's time-zero all-links fault
+// event, so the drop/duplicate/reorder override keys merge into one event
+// instead of each replacing the others' link configuration.
+func baseLinkEvent(s *ScenarioSpec) *FaultEventSpec {
+	if s.Faults == nil {
+		s.Faults = &FaultSpec{}
+	}
+	for i := range s.Faults.Events {
+		ev := &s.Faults.Events[i]
+		if ev.Action == FaultLink && ev.At == 0 && len(ev.From) == 0 && len(ev.To) == 0 {
+			return ev
+		}
+	}
+	s.Faults.Events = append(s.Faults.Events, FaultEventSpec{Action: FaultLink})
+	return &s.Faults.Events[len(s.Faults.Events)-1]
 }
 
 // parseDuration accepts "30ms"/"50s" and bare numbers of seconds.
@@ -181,6 +217,10 @@ func Expand(cells []ScenarioSpec, axes ...Axis) ([]ScenarioSpec, error) {
 				if c.Byzantine != nil {
 					b := *c.Byzantine
 					c.Byzantine = &b
+				}
+				if c.Faults != nil {
+					f := FaultSpec{Events: append([]FaultEventSpec(nil), c.Faults.Events...)}
+					c.Faults = &f
 				}
 				if err := Set(&c, ax.Key, v); err != nil {
 					return nil, err

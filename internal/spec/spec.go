@@ -170,6 +170,9 @@ type ScenarioSpec struct {
 	Workload *WorkloadSpec `json:"workload,omitempty"`
 	// Byzantine configures faulty servers; nil means all correct.
 	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
+	// Faults schedules network fault injection (crash/restart, partition/
+	// heal, link loss); nil means a fault-free network.
+	Faults *FaultSpec `json:"faults,omitempty"`
 }
 
 // WithDefaults fills the paper's defaults into unset fields. It is
@@ -222,6 +225,9 @@ func (s ScenarioSpec) WithDefaults() ScenarioSpec {
 			b.InjectCount = DefaultInjectCount
 		}
 		s.Byzantine = &b
+	}
+	if s.Faults != nil {
+		s.Faults = s.Faults.withDefaults()
 	}
 	return s
 }
@@ -309,6 +315,11 @@ func (s ScenarioSpec) Validate() error {
 		}
 		if b.InjectCount < 0 {
 			return fmt.Errorf("byzantine inject_count must be >= 0, got %d", b.InjectCount)
+		}
+	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(s.Servers); err != nil {
+			return err
 		}
 	}
 	return nil

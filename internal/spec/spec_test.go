@@ -36,6 +36,17 @@ func fullSpec() ScenarioSpec {
 			Behaviors:   []string{BehaviorWithholdBatches, BehaviorCorruptProofs},
 			InjectCount: 0,
 		},
+		Faults: &FaultSpec{Events: []FaultEventSpec{
+			{At: Duration(5 * time.Second), Action: FaultCrash, Nodes: []int{15}},
+			{At: Duration(8 * time.Second), Action: FaultPartition,
+				Groups: [][]int{{0, 1, 2}, {3, 4}}},
+			{At: Duration(12 * time.Second), Action: FaultHeal},
+			{At: Duration(15 * time.Second), Action: FaultRestart, Nodes: []int{15}},
+			{Action: FaultLink, From: []int{0}, To: []int{1}, Drop: 0.1,
+				Duplicate: 0.05, Reorder: 0.2,
+				ReorderDelay: Duration(10 * time.Millisecond),
+				Delay:        Duration(40 * time.Millisecond)},
+		}},
 	}
 }
 

@@ -78,6 +78,11 @@ type Config struct {
 	Tick time.Duration
 	// FullPayloads creates real signed payloads (Full mode deployments).
 	FullPayloads bool
+	// TrackIDs records the id of every accepted element so the invariant
+	// checker can compare the servers' final histories against exactly
+	// what was injected (no fabrication, no loss). Costs one map insert
+	// per element; the harness always enables it.
+	TrackIDs bool
 }
 
 // Generator injects the workload into a deployment.
@@ -88,6 +93,7 @@ type Generator struct {
 
 	injected uint64
 	rejected uint64
+	ids      map[wire.ElementID]struct{}
 	done     bool
 }
 
@@ -99,7 +105,11 @@ func New(d *core.Deployment, rec *metrics.Recorder, cfg Config) *Generator {
 	if cfg.Tick == 0 {
 		cfg.Tick = 10 * time.Millisecond
 	}
-	return &Generator{cfg: cfg, d: d, rec: rec}
+	g := &Generator{cfg: cfg, d: d, rec: rec}
+	if cfg.TrackIDs {
+		g.ids = make(map[wire.ElementID]struct{})
+	}
+	return g
 }
 
 // Start schedules the injection. Clients add elements from virtual time 0
@@ -155,6 +165,9 @@ func (g *Generator) injectOne(i int) {
 		return
 	}
 	g.injected++
+	if g.ids != nil {
+		g.ids[e.ID] = struct{}{}
+	}
 	if g.rec != nil {
 		g.rec.Injected(e)
 	}
@@ -162,6 +175,10 @@ func (g *Generator) injectOne(i int) {
 
 // Injected returns how many elements were accepted by servers.
 func (g *Generator) Injected() uint64 { return g.injected }
+
+// InjectedIDs returns the ids of every accepted element, or nil unless
+// Config.TrackIDs was set. The map is live state; treat it as read-only.
+func (g *Generator) InjectedIDs() map[wire.ElementID]struct{} { return g.ids }
 
 // Rejected returns how many adds the servers refused.
 func (g *Generator) Rejected() uint64 { return g.rejected }
