@@ -6,7 +6,7 @@
 //
 //	setchain-bench -exp all            # everything (minutes at -scale 1)
 //	setchain-bench -exp fig1 -scale 0.2
-//	setchain-bench -exp perf -json BENCH_pr1.json
+//	setchain-bench -exp perf -artifact BENCH_pr4.json
 //	setchain-bench -spec examples/specs/fig4.json
 //	setchain-bench -spec examples/specs/wan.json -matrix servers=4,8,16
 //	setchain-bench -exp fig4 -matrix delay=0s,30ms,100ms
@@ -41,18 +41,18 @@
 //
 // -workers caps the study executor's worker pool (default GOMAXPROCS);
 // independent study cells run concurrently, each simulation still
-// single-threaded and deterministic. -json FILE writes a machine-readable
-// baseline (per-experiment wall time plus the perf probe's metrics) so the
-// perf trajectory can be committed as BENCH_*.json and compared across
-// changes.
+// single-threaded and deterministic. -artifact FILE writes a versioned
+// machine-readable run artifact (internal/report schema: provenance,
+// per-experiment wall time and metrics, and one record per simulation
+// cell) — the successor of the earlier ad-hoc -json baselines, still
+// committed as BENCH_*.json to track the perf trajectory and consumed by
+// cmd/setchain-report for RESULTS.md fidelity tables.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -60,6 +60,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/report"
 	"repro/internal/spec"
 	"repro/internal/textplot"
 )
@@ -85,28 +86,12 @@ var runners = map[string]func(scale float64){
 	"perf":      runPerf,
 }
 
-// expRecord is one experiment's entry in the -json baseline.
-type expRecord struct {
-	Name        string             `json:"name"`
-	WallSeconds float64            `json:"wall_seconds"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
+// currentRecord is the -artifact record of the experiment currently
+// running (see timed in main).
+var currentRecord *report.ExperimentRecord
 
-// baseline is the -json output document.
-type baseline struct {
-	GoVersion   string      `json:"go_version"`
-	GOOS        string      `json:"goos"`
-	GOARCH      string      `json:"goarch"`
-	CPUs        int         `json:"cpus"`
-	Workers     int         `json:"workers"`
-	Scale       float64     `json:"scale"`
-	Experiments []expRecord `json:"experiments"`
-}
-
-var currentRecord *expRecord
-
-// recordMetric attaches a metric to the experiment currently running; a
-// no-op when -json is not in effect.
+// recordMetric attaches an experiment-level metric (the perf probe's
+// wall-clock family) to the experiment currently running.
 func recordMetric(name string, v float64) {
 	if currentRecord == nil {
 		return
@@ -115,6 +100,17 @@ func recordMetric(name string, v float64) {
 		currentRecord.Metrics = make(map[string]float64)
 	}
 	currentRecord.Metrics[name] = v
+}
+
+// captureCells attaches per-cell records — defaulted spec, measurements,
+// invariant verdict — to the experiment currently running. Every runner
+// calls it with the entry's cells and their results in cell order, so a
+// -artifact file carries the full measurement set of whatever ran.
+func captureCells(cells []spec.ScenarioSpec, results []*harness.Result) {
+	if currentRecord == nil {
+		return
+	}
+	currentRecord.Cells = report.FromResults(currentRecord.Name, cells, results).Cells
 }
 
 // matrixFlags accumulates repeated -matrix overrides into axes.
@@ -146,7 +142,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (rates, send windows and fault schedules)")
 	list := flag.Bool("list", false, "list experiments with their descriptions")
 	workers := flag.Int("workers", 0, "study executor workers (0 = GOMAXPROCS)")
-	jsonOut := flag.String("json", "", "write a JSON perf baseline to this file")
+	artifactOut := flag.String("artifact", "", "write a versioned run artifact (results + provenance) to this file")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 
@@ -171,16 +167,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	doc := baseline{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
-		Workers:   harness.Workers(),
-		Scale:     *scale,
+	doc := report.Artifact{
+		SchemaVersion: report.SchemaVersion,
+		Provenance:    report.Provenance{Tool: "setchain-bench", Scale: *scale},
 	}
 	timed := func(name, desc string, run func()) {
-		doc.Experiments = append(doc.Experiments, expRecord{Name: name})
+		doc.Experiments = append(doc.Experiments, report.ExperimentRecord{Name: name})
 		currentRecord = &doc.Experiments[len(doc.Experiments)-1]
 		t0 := time.Now()
 		fmt.Printf("==> %s — %s (scale %.2g)\n\n", name, desc, *scale)
@@ -230,18 +222,17 @@ func main() {
 		timed(e.Name, e.Figure+": "+e.Title, func() { runEntry(e, matrix, faultPlan, *scale) })
 	}
 
-	if *jsonOut != "" {
-		blob, err := json.MarshalIndent(doc, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal baseline: %v\n", err)
+	if *artifactOut != "" {
+		// Seed/mode come from the cells that actually ran (a -spec file may
+		// override both), not from the registry catalog; runtime provenance
+		// (git subprocess included) is gathered only when actually writing.
+		report.StampRuntime(&doc.Provenance)
+		doc.Provenance.Seed, doc.Provenance.Mode = report.CellsSeedMode(doc.Experiments)
+		if err := doc.WriteFile(*artifactOut); err != nil {
+			fmt.Fprintf(os.Stderr, "write artifact: %v\n", err)
 			os.Exit(1)
 		}
-		blob = append(blob, '\n')
-		if err := os.WriteFile(*jsonOut, blob, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write %s: %v\n", *jsonOut, err)
-			os.Exit(1)
-		}
-		fmt.Printf("baseline written to %s\n", *jsonOut)
+		fmt.Printf("run artifact written to %s\n", *artifactOut)
 	}
 
 	// Every scenario executed above ran the end-of-run safety check; a
@@ -342,6 +333,7 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 	if err != nil {
 		return err
 	}
+	captureCells(cells, results)
 	stages := false
 	for _, c := range cells {
 		if c.Metrics == spec.MetricsStages {
@@ -417,6 +409,7 @@ func runPerf(scale float64) {
 	start := time.Now()
 	res := harness.Run(sc)
 	wall := time.Since(start).Seconds()
+	captureCells(spec.MustGet("perf").Cells, []*harness.Result{res})
 	virtual := res.Scenario.Horizon.Seconds()
 	if wall > 0 {
 		recordMetric("virtual_s_per_wall_s", virtual/wall)
@@ -487,18 +480,23 @@ func runTable2(scale float64) {
 			"paper:  left  V=171  C=996  H=4183 | center C=571 H=2540 | right C=743 H=7369",
 		Headers: []string{"Panel", "Algorithm", "Measured el/s", "Analytical el/s"},
 	}
+	var all []*harness.Result
 	for _, panel := range harness.Fig1Panels() {
 		for _, res := range harness.RunFig1Panel(panel, scale) {
+			all = append(all, res)
 			t.AddRow(panel.Name, res.Scenario.Spec.Label(),
 				fmt.Sprintf("%.0f", res.AvgTput), fmt.Sprintf("%.0f", res.Analytical))
 		}
 	}
+	captureCells(spec.MustGet("table2").Cells, all)
 	fmt.Print(t.Render())
 }
 
 func runFig1(scale float64) {
+	var all []*harness.Result
 	for _, panel := range harness.Fig1Panels() {
 		results := harness.RunFig1Panel(panel, scale)
+		all = append(all, results...)
 		p := &textplot.LinePlot{
 			Title: fmt.Sprintf("Fig. 1 (%s): throughput over time — rate %.0f el/s, c=%d, 10 servers",
 				panel.Name, panel.Rate*scale, panel.Collector),
@@ -522,6 +520,7 @@ func runFig1(scale float64) {
 		fmt.Print(p.Render())
 		fmt.Println()
 	}
+	captureCells(spec.MustGet("fig1").Cells, all)
 }
 
 func runFig2Left(scale float64) {
@@ -533,8 +532,10 @@ func runFig2Left(scale float64) {
 		LogY: true,
 	}
 	t := &textplot.Table{Headers: []string{"Variant", "Sending el/s", "Avg to send-end el/s", "Analytical el/s"}}
+	var all []*harness.Result
 	for _, lr := range results {
 		res := lr.Result
+		all = append(all, res)
 		var xs, ys []float64
 		for _, pt := range res.Series {
 			xs = append(xs, pt.Time.Seconds())
@@ -544,6 +545,7 @@ func runFig2Left(scale float64) {
 		t.AddRow(lr.Label, fmt.Sprintf("%.0f", res.Scenario.Rate),
 			fmt.Sprintf("%.0f", res.AvgTput), fmt.Sprintf("%.0f", res.Analytical))
 	}
+	captureCells(spec.MustGet("fig2left").Cells, all)
 	fmt.Print(p.Render())
 	fmt.Println()
 	fmt.Print(t.Render())
@@ -599,23 +601,41 @@ func effChart(title string, cells []harness.EfficiencyCell) {
 	fmt.Print(chart.Render())
 }
 
+// captureEff records a Fig. 3/5-style grid's cells into the current
+// -artifact experiment.
+func captureEff(name string, cells []harness.EfficiencyCell) {
+	rs := make([]*harness.Result, len(cells))
+	for i, c := range cells {
+		rs[i] = c.Result
+	}
+	captureCells(spec.MustGet(name).Cells, rs)
+}
+
 func runFig3a(scale float64) {
-	effChart("Fig. 3a: efficiency vs sending rate (10 servers, no delay)",
-		harness.RunEfficiencyVsRate(scale))
+	cells := harness.RunEfficiencyVsRate(scale)
+	captureEff("fig3a", cells)
+	effChart("Fig. 3a: efficiency vs sending rate (10 servers, no delay)", cells)
 }
 
 func runFig3b(scale float64) {
-	effChart("Fig. 3b: efficiency vs number of servers (10,000 el/s, no delay)",
-		harness.RunEfficiencyVsServers(scale))
+	cells := harness.RunEfficiencyVsServers(scale)
+	captureEff("fig3b", cells)
+	effChart("Fig. 3b: efficiency vs number of servers (10,000 el/s, no delay)", cells)
 }
 
 func runFig3c(scale float64) {
-	effChart("Fig. 3c: efficiency vs network delay (10 servers, 10,000 el/s)",
-		harness.RunEfficiencyVsDelay(scale))
+	cells := harness.RunEfficiencyVsDelay(scale)
+	captureEff("fig3c", cells)
+	effChart("Fig. 3c: efficiency vs network delay (10 servers, 10,000 el/s)", cells)
 }
 
 func runFig4(scale float64) {
 	curves := harness.RunLatencyStudy(scale)
+	rs := make([]*harness.Result, len(curves))
+	for i, lc := range curves {
+		rs[i] = lc.Result
+	}
+	captureCells(spec.MustGet("fig4").Cells, rs)
 	for _, lc := range curves {
 		data := map[string][]float64{}
 		reach := map[string]float64{}
@@ -659,18 +679,21 @@ func commitChart(title string, cells []harness.EfficiencyCell) {
 }
 
 func runFig5a(scale float64) {
-	commitChart("Fig. 5a: commit times vs sending rate (10 servers, no delay)",
-		harness.RunCommitTimeStudy(harness.CommitVsRate, scale))
+	cells := harness.RunCommitTimeStudy(harness.CommitVsRate, scale)
+	captureEff("fig5a", cells)
+	commitChart("Fig. 5a: commit times vs sending rate (10 servers, no delay)", cells)
 }
 
 func runFig5b(scale float64) {
-	commitChart("Fig. 5b: commit times vs number of servers (10,000 el/s)",
-		harness.RunCommitTimeStudy(harness.CommitVsServers, scale))
+	cells := harness.RunCommitTimeStudy(harness.CommitVsServers, scale)
+	captureEff("fig5b", cells)
+	commitChart("Fig. 5b: commit times vs number of servers (10,000 el/s)", cells)
 }
 
 func runFig5c(scale float64) {
-	commitChart("Fig. 5c: commit times vs network delay (10 servers, 10,000 el/s)",
-		harness.RunCommitTimeStudy(harness.CommitVsDelay, scale))
+	cells := harness.RunCommitTimeStudy(harness.CommitVsDelay, scale)
+	captureEff("fig5c", cells)
+	commitChart("Fig. 5c: commit times vs network delay (10 servers, 10,000 el/s)", cells)
 }
 
 func runD1(float64) {

@@ -28,6 +28,7 @@ package consensus
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/abci"
@@ -221,14 +222,18 @@ func (rv *roundVotes) count(t VoteType, blockID string) int {
 func (rv *roundVotes) totalVoters(t VoteType) int { return len(rv.voters[t]) }
 
 // quorumBlockID returns a blockID (possibly nil) holding >= q votes of the
-// given type, if any.
+// given type, if any. Honest voters vote once per round, so at most one id
+// can reach quorum; the smallest-id tie-break only matters when Byzantine
+// equivocation manufactures two, and keeps the choice — like everything
+// else in the simulation — independent of map iteration order.
 func (rv *roundVotes) quorumBlockID(t VoteType, q int) (string, bool) {
+	best, found := "", false
 	for id, voters := range rv.votes[t] {
-		if len(voters) >= q {
-			return id, true
+		if len(voters) >= q && (!found || id < best) {
+			best, found = id, true
 		}
 	}
-	return "", false
+	return best, found
 }
 
 // Node is one validator's consensus state machine.
@@ -445,9 +450,22 @@ func (n *Node) sweep() {
 			}
 		}
 	}
-	for r := range n.votes {
+	// Rounds are visited in ascending order: two rounds can both hold
+	// precommit quorums (a locked value re-proposed under a new round's
+	// blockID), and which one commits must not depend on map iteration.
+	for _, r := range sortedRounds(n.votes) {
 		n.tryCommit(r)
 	}
+}
+
+// sortedRounds returns the vote map's keys ascending.
+func sortedRounds(votes map[int32]*roundVotes) []int32 {
+	rounds := make([]int32, 0, len(votes))
+	for r := range votes {
+		rounds = append(rounds, r)
+	}
+	sort.Slice(rounds, func(i, j int) bool { return rounds[i] < rounds[j] })
+	return rounds
 }
 
 func (n *Node) timeout(base time.Duration, round int32) time.Duration {
@@ -780,13 +798,18 @@ func (n *Node) requestBlock(round int32, blockID string) {
 	if rv == nil {
 		return
 	}
-	req := &BlockRequest{Height: n.height, BlockID: blockID}
+	// Ask the lowest-id precommitter: the target choice shapes message
+	// timing, so it must not depend on map iteration order.
+	target, found := wire.NodeID(0), false
 	for voter := range rv.votes[int(VotePrecommit)][blockID] {
-		if voter != n.id {
-			n.catchupReqs++
-			n.net.Send(n.id, voter, req, 64)
-			return // one request at a time; timeouts re-trigger if lost
+		if voter != n.id && (!found || voter < target) {
+			target, found = voter, true
 		}
+	}
+	if found {
+		n.catchupReqs++
+		n.net.Send(n.id, target, &BlockRequest{Height: n.height, BlockID: blockID}, 64)
+		// One request at a time; timeouts re-trigger if lost.
 	}
 }
 
@@ -832,15 +855,17 @@ func (n *Node) commit(p *Proposal) {
 	// Retain the decided proposal and its precommit certificate so lagging
 	// peers can request them after we advance; prune the retention window.
 	n.decidedProps[p.Height] = p
-	for r, rv := range n.votes {
-		byVoter := rv.votes[int(VotePrecommit)][p.BlockID]
+	for _, r := range sortedRounds(n.votes) {
+		byVoter := n.votes[r].votes[int(VotePrecommit)][p.BlockID]
 		if len(byVoter) >= n.Quorum() {
 			cert := make([]*Vote, 0, len(byVoter))
 			for _, v := range byVoter {
 				cert = append(cert, v)
 			}
+			// Certificates travel on the wire; keep their order a function
+			// of the votes, not of map iteration.
+			sort.Slice(cert, func(i, j int) bool { return cert[i].Voter < cert[j].Voter })
 			n.decidedCommits[p.Height] = cert
-			_ = r
 			break
 		}
 	}

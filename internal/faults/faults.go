@@ -12,8 +12,13 @@
 // (which use netsim.CauseByzantine): restarting a node the plan crashed
 // never revives a node a Byzantine preset silenced.
 //
-// Plans are usually written as JSON (spec.FaultSpec) and converted by
-// internal/harness; see DESIGN.md §8 (fault model).
+// Plans are usually written as JSON (spec.FaultSpec, a "faults" block in
+// any scenario document or a standalone file for setchain-bench -faults)
+// and converted by internal/harness; the chaos_* registry entries ship
+// ready-made schedules. Determinism is what makes faulted runs usable as
+// regression pins in the generated RESULTS.md.
+//
+// See DESIGN.md §8 (fault model and the invariant checker).
 package faults
 
 import (

@@ -24,12 +24,17 @@
 // servers agreeing on epoch k's hash agree on every element (and order)
 // up to k; combined with no-fabrication over the injected set, any
 // committed element a run could lose or invent shows up as a finite-state
-// difference the checker catches. See DESIGN.md §8 for the safety
-// argument.
+// difference the checker catches.
 //
 // The checker must not be vacuously green: harness tests corrupt a
 // correct server's ledger on purpose and assert the checker fails
-// (TestCheckerDetectsCorruption in this package's tests).
+// (TestCheckerDetectsCorruption in this package's tests). Verdicts
+// surface as harness.Result.Invariant, the Safety column of
+// setchain-bench (nonzero exit on violation), and the per-cell
+// invariant field of run artifacts rendered into RESULTS.md.
+//
+// See DESIGN.md §8 (fault model and the invariant checker, including
+// the safety argument for epoch-prefix checking).
 package invariant
 
 import (

@@ -1,0 +1,90 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReferenceValidate(t *testing.T) {
+	good := Reference{Cell: 0, Metric: MetricAvgTput, Value: 100, Tolerance: 0.25}
+	if err := good.WithDefaults().Validate(1); err != nil {
+		t.Fatalf("valid reference rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Reference)
+		want string
+	}{
+		{"cell out of range", func(r *Reference) { r.Cell = 1 }, "out of range"},
+		{"negative cell", func(r *Reference) { r.Cell = -1 }, "out of range"},
+		{"unknown metric", func(r *Reference) { r.Metric = "tput" }, "unknown reference metric"},
+		{"zero value", func(r *Reference) { r.Value = 0 }, "positive finite"},
+		{"zero tolerance", func(r *Reference) { r.Tolerance = 0 }, "tolerance"},
+		{"huge tolerance", func(r *Reference) { r.Tolerance = 10 }, "tolerance"},
+		{"bad compare", func(r *Reference) { r.Compare = "min" }, "compare mode"},
+		{"bad source", func(r *Reference) { r.Source = "folklore" }, "unknown reference source"},
+	}
+	for _, tc := range cases {
+		r := good
+		tc.mut(&r)
+		err := r.WithDefaults().Validate(1)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestReferenceDeltaAndPass(t *testing.T) {
+	band := Reference{Cell: 0, Metric: MetricAvgTput, Value: 100, Tolerance: 0.25}.WithDefaults()
+	if d := band.Delta(125); d != 0.25 {
+		t.Fatalf("Delta(125) = %g, want 0.25", d)
+	}
+	if !band.Pass(125) || !band.Pass(75) {
+		t.Fatal("band edges should pass")
+	}
+	if band.Pass(126) || band.Pass(74) {
+		t.Fatal("outside the band should not pass")
+	}
+
+	max := Reference{Cell: 0, Metric: MetricP99CommitS, Value: 4, Tolerance: 0.1,
+		Compare: CompareMax}.WithDefaults()
+	if !max.Pass(0.5) {
+		t.Fatal("max-bound: far below the bound should pass")
+	}
+	if !max.Pass(4.3) {
+		t.Fatal("max-bound: inside the headroom should pass")
+	}
+	if max.Pass(4.5) {
+		t.Fatal("max-bound: above value*(1+tol) should not pass")
+	}
+}
+
+// Every non-analytic registry entry must carry at least one reference
+// (Register enforces it; this pins the property at the catalog level) and
+// every reference must target a metric the entry's cells can produce:
+// latency-stage metrics need Metrics="stages" on the referenced cell.
+func TestRegistryReferencesCoverCatalog(t *testing.T) {
+	for _, e := range All() {
+		if len(e.Cells) == 0 {
+			if len(e.Refs) != 0 {
+				t.Errorf("analytic entry %q has references but no cells to measure", e.Name)
+			}
+			continue
+		}
+		if len(e.Refs) == 0 {
+			t.Errorf("entry %q has cells but no reference values", e.Name)
+		}
+		for i, r := range e.Refs {
+			if err := r.Validate(len(e.Cells)); err != nil {
+				t.Errorf("entry %q ref %d: %v", e.Name, i, err)
+				continue
+			}
+			if r.Metric == MetricP50CommitS || r.Metric == MetricP99CommitS {
+				if c := e.Cells[r.Cell].WithDefaults(); c.Metrics != MetricsStages {
+					t.Errorf("entry %q ref %d targets %s but cell %d runs metrics=%q",
+						e.Name, i, r.Metric, r.Cell, c.Metrics)
+				}
+			}
+		}
+	}
+}

@@ -26,6 +26,13 @@ type Entry struct {
 	// Cells are the simulation cells the entry expands into, in execution
 	// order. Analytic entries (closed-form model only) have none.
 	Cells []ScenarioSpec
+	// Refs are the entry's expected measurements — what the paper (or the
+	// Appendix D model, or this repo's pinned baseline) reports for
+	// individual cells, with tolerance bands. cmd/setchain-report compares
+	// them against a paper-scale run artifact in RESULTS.md; every entry
+	// with cells must carry at least one so the fidelity table covers the
+	// whole catalog.
+	Refs []Reference
 }
 
 // registry holds the catalog in registration order.
@@ -44,6 +51,15 @@ func Register(e Entry) {
 	for i, c := range e.Cells {
 		if err := c.WithDefaults().Validate(); err != nil {
 			panic(fmt.Sprintf("spec: entry %q cell %d: %v", e.Name, i, err))
+		}
+	}
+	if len(e.Cells) > 0 && len(e.Refs) == 0 {
+		panic(fmt.Sprintf("spec: entry %q has cells but no reference values (RESULTS.md's fidelity table must cover every non-analytic entry)", e.Name))
+	}
+	for i := range e.Refs {
+		e.Refs[i] = e.Refs[i].WithDefaults()
+		if err := e.Refs[i].Validate(len(e.Cells)); err != nil {
+			panic(fmt.Sprintf("spec: entry %q ref %d: %v", e.Name, i, err))
 		}
 	}
 	registry = append(registry, e)
