@@ -1,0 +1,77 @@
+// Command benchgate guards the perf trajectory: it compares a freshly
+// measured perf-probe artifact against a committed BENCH_*.json baseline
+// and exits nonzero when the simulator's headline number — virtual
+// seconds simulated per wall-clock second — regressed by more than the
+// allowed fraction.
+//
+// Usage (what CI runs after the perf probe):
+//
+//	go run ./cmd/setchain-bench -exp perf -scale 0.1 -workers 1 -artifact BENCH_ci.json
+//	go run ./cmd/benchgate -baseline BENCH_pr4.json -candidate BENCH_ci.json -max-regression 0.15
+//
+// The gate is one-sided: faster is always fine, slower than
+// baseline·(1-max-regression) fails. The ratio of virtual to wall time
+// factors out the probe's workload size but NOT the host's single-core
+// speed, so a baseline measured on very different hardware will mis-gate:
+// compare like with like (the committed baselines and CI both pin
+// -workers 1 at scale 0.1), keep the threshold generous, and raise
+// -max-regression on fleets whose runners vary more than ~15% from the
+// baseline machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/report"
+)
+
+// probeMetric is the perf probe's headline measurement in BENCH_*.json
+// artifacts (see setchain-bench runPerf).
+const probeMetric = "virtual_s_per_wall_s"
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_pr4.json", "committed baseline artifact")
+	candidate := flag.String("candidate", "", "freshly measured artifact to gate")
+	maxRegression := flag.Float64("max-regression", 0.15, "allowed fractional slowdown before failing")
+	flag.Parse()
+	if *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -candidate is required")
+		os.Exit(2)
+	}
+	base := probeValue(*baseline)
+	cand := probeValue(*candidate)
+	floor := base * (1 - *maxRegression)
+	fmt.Printf("benchgate: %s %s=%.0f, %s %s=%.0f, floor %.0f (-%.0f%%)\n",
+		*baseline, probeMetric, base, *candidate, probeMetric, cand,
+		floor, 100**maxRegression)
+	if cand < floor {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: FAIL — %s regressed %.1f%% (%.0f -> %.0f virtual_s/wall_s; allowed %.0f%%)\n",
+			probeMetric, 100*(1-cand/base), base, cand, 100**maxRegression)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: PASS")
+}
+
+// probeValue loads an artifact and extracts the perf experiment's probe
+// metric.
+func probeValue(path string) float64 {
+	a, err := report.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	exp, ok := a.Experiment("perf")
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchgate: %s has no 'perf' experiment (run setchain-bench -exp perf -artifact)\n", path)
+		os.Exit(2)
+	}
+	v, ok := exp.Metrics[probeMetric]
+	if !ok || v <= 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %s lacks the %s metric\n", path, probeMetric)
+		os.Exit(2)
+	}
+	return v
+}

@@ -13,7 +13,16 @@
 //	setchain-bench -exp chaos_partition          # scheduled partition+heal
 //	setchain-bench -exp fig4 -faults examples/specs/partition.json
 //	setchain-bench -exp fig4 -matrix drop=0,0.01,0.05
+//	setchain-bench -exp scale_tput               # sharded S=1/2/4/8 scaling curve
+//	setchain-bench -spec examples/specs/sharded.json -matrix shards=1,2,4,8
 //	setchain-bench -list
+//
+// Sharded scenarios (a "shards" spec field, the shards= matrix key, the
+// scale_* registry family) run S independent Setchain instances in one
+// shared network with elements routed by id digest (internal/shard);
+// fault-plan node ids are then global (shard k's servers are k·n..k·n+n-1)
+// and every run adds the cross-shard safety check on top of the per-shard
+// one.
 //
 // Experiments come from the internal/spec registry (rendered into
 // EXPERIMENTS.md by cmd/specdoc); -list prints each entry's description.
@@ -346,8 +355,18 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			faulted = true
 		}
 	}
+	sharded := false
+	for _, c := range cells {
+		if c.Shards > 1 {
+			sharded = true
+		}
+	}
 	headers := []string{"Scenario", "n", "Rate el/s", "Delay",
 		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic", "Safety"}
+	if sharded {
+		// n stays the per-shard group size; S is the shard count.
+		headers = append(headers, "S")
+	}
 	if faulted {
 		headers = append(headers, "Faults")
 	}
@@ -378,6 +397,13 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			fmt.Sprintf("%.0f", res.Analytical),
 			safety,
 		}
+		if sharded {
+			s := sc.Shards
+			if s < 1 {
+				s = 1
+			}
+			row = append(row, fmt.Sprintf("%d", s))
+		}
 		if faulted {
 			row = append(row, cells[i].Faults.Summary())
 		}
@@ -395,6 +421,22 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 		recordMetric(fmt.Sprintf("cell%d_avg_tput", i), res.AvgTput)
 	}
 	fmt.Print(t.Render())
+	// Sharded cells get a per-shard breakdown under the table: the
+	// aggregate hides router balance and straggler shards.
+	for i, res := range results {
+		if len(res.PerShard) == 0 {
+			continue
+		}
+		label := cells[i].Label()
+		if cells[i].Group != "" {
+			label = cells[i].Group + " " + label
+		}
+		fmt.Printf("\n%s — %d superepochs; per shard:\n", label, len(res.SuperDigests))
+		for _, st := range res.PerShard {
+			fmt.Printf("  shard %d: injected %d, committed %d, avg %.0f el/s, %d epochs, %d blocks\n",
+				st.Shard, st.Injected, st.Committed, st.AvgTput, st.Epochs, st.Blocks)
+		}
+	}
 	return nil
 }
 

@@ -16,6 +16,15 @@
 //
 //	go run ./cmd/setchain-report -emit-artifact ARTIFACT_paper.json
 //
+// Adding a NEW registry entry does not require repaying the whole
+// catalog: -entries restricts -emit-artifact to the named entries and
+// merges their records into the existing artifact file, leaving every
+// other entry's committed record untouched. Provenance stays per-run:
+// the artifact-level block keeps describing the last full-catalog run,
+// and each merged record carries its own git describe when it differs:
+//
+//	go run ./cmd/setchain-report -emit-artifact ARTIFACT_paper.json -entries scale_tput,scale_chaos
+//
 // See DESIGN.md §9 for why the committed report runs at reduced scale
 // and why git provenance lives in the artifact rather than the report.
 package main
@@ -24,6 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/report"
@@ -43,13 +53,17 @@ func main() {
 	paperPath := flag.String("paper", "ARTIFACT_paper.json", "committed paper-scale artifact to compare against")
 	scale := flag.Float64("scale", 0, "workload scale (default 0.1 for the report, 1 for -emit-artifact)")
 	emit := flag.String("emit-artifact", "", "run the catalog at -scale and write a run artifact here instead of a report")
+	entries := flag.String("entries", "", "with -emit-artifact: run only these comma-separated entries and merge their records into the existing artifact")
 	workers := flag.Int("workers", 0, "study executor workers (0 = GOMAXPROCS)")
 	flag.Parse()
 	harness.SetWorkers(*workers)
 
 	if *emit != "" {
-		emitArtifact(*emit, scaleOr(*scale, emitScale))
+		emitArtifact(*emit, scaleOr(*scale, emitScale), *entries)
 		return
+	}
+	if *entries != "" {
+		fatalf("-entries only applies to -emit-artifact")
 	}
 
 	paper, err := report.ReadFile(*paperPath)
@@ -87,13 +101,34 @@ func main() {
 
 // emitArtifact runs the catalog and writes a run artifact with full
 // provenance (the committed-artifact path; wall-clock context belongs
-// here, not in the deterministic report).
-func emitArtifact(path string, scale float64) {
-	art, err := report.Collect(spec.All(), scale)
+// here, not in the deterministic report). A non-empty entries list
+// restricts the run to those catalog entries and merges the fresh
+// records into the artifact already at path, so adding a new registry
+// entry does not force re-simulating the whole catalog.
+func emitArtifact(path string, scale float64, entries string) {
+	catalog := spec.All()
+	if entries != "" {
+		catalog = selectEntries(catalog, entries)
+	}
+	art, err := report.Collect(catalog, scale)
 	if err != nil {
 		fatalf("run catalog: %v", err)
 	}
 	report.StampRuntime(&art.Provenance)
+	if entries != "" {
+		prev, err := report.ReadFile(path)
+		if err != nil {
+			fatalf("-entries merges into an existing artifact: %v", err)
+		}
+		if prev.Provenance.Scale != art.Provenance.Scale {
+			fatalf("cannot merge a scale-%g run into a scale-%g artifact",
+				art.Provenance.Scale, prev.Provenance.Scale)
+		}
+		// The merged artifact keeps the previous full run's provenance;
+		// the freshly rerun records carry this run's git describe
+		// themselves (MergeExperiments).
+		art = report.MergeExperiments(prev, art)
+	}
 	if err := art.WriteFile(path); err != nil {
 		fatalf("%v", err)
 	}
@@ -102,6 +137,29 @@ func emitArtifact(path string, scale float64) {
 	if v := harness.InvariantViolations(); v > 0 {
 		fatalf("SAFETY: %d scenario(s) violated Setchain invariants", v)
 	}
+}
+
+// selectEntries resolves a comma-separated entry-name list against the
+// catalog, preserving catalog order.
+func selectEntries(catalog []spec.Entry, names string) []spec.Entry {
+	want := map[string]bool{}
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := spec.Get(name); !ok {
+			fatalf("unknown entry %q in -entries (use setchain-bench -list)", name)
+		}
+		want[name] = true
+	}
+	var out []spec.Entry
+	for _, e := range catalog {
+		if want[e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 func scaleOr(v, def float64) float64 {

@@ -325,6 +325,10 @@ func NewNode(id wire.NodeID, validators []wire.NodeID, s *sim.Simulator, net *ne
 		votes:          make(map[int32]*roundVotes),
 		lockedID:       nilBlockID,
 		lockedRound:    -1,
+		// No catch-up target until a future message names one; the zero
+		// value would silently be node 0, which on a shared fabric belongs
+		// to another group.
+		futureSender: -1,
 	}
 }
 
@@ -527,8 +531,32 @@ func (n *Node) propose(r int32) {
 	}
 	p.Sig = n.suite.Sign(n.key, n.proposalSignBytes(p))
 	size := bytes + proposalOverhead
-	n.net.Broadcast(n.id, p, size)
+	n.broadcast(p, size)
 	n.handleProposal(p) // self-delivery
+}
+
+// broadcast sends a consensus message to every other validator of this
+// group. The explicit list — rather than netsim's whole-fabric Broadcast —
+// keeps a group's consensus traffic inside the group when several groups
+// share one network (sharded worlds); validators are id-ascending, so the
+// send order (and with it every downstream random draw) matches what
+// Broadcast produced for a single-group fabric.
+func (n *Node) broadcast(payload any, size int) {
+	for _, v := range n.validators {
+		if v != n.id {
+			n.net.Send(n.id, v, payload, size)
+		}
+	}
+}
+
+// isValidator reports whether id belongs to this group's validator set.
+func (n *Node) isValidator(id wire.NodeID) bool {
+	for _, v := range n.validators {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // proposalSignBytes renders a proposal's canonical signing bytes into the
@@ -558,9 +586,20 @@ func (n *Node) voteSignBytes(v *Vote) []byte {
 	return buf
 }
 
-// Receive is the network entry point for all consensus payloads.
+// Receive is the network entry point for all consensus payloads. Messages
+// from outside the validator set are dropped before touching any state:
+// when several consensus groups share one fabric (sharded worlds,
+// internal/shard), a foreign group's proposals and votes must not leak in
+// — an accepted foreign proposal would, among other damage, poison the
+// deep catch-up target (futureSender) with a node that serves a different
+// chain — and a non-validator has no standing in this group's consensus
+// regardless.
 func (n *Node) Receive(from wire.NodeID, payload any) {
 	if n.stopped {
+		return
+	}
+	if !n.isValidator(from) {
+		n.invalidMsgs++
 		return
 	}
 	switch msg := payload.(type) {
@@ -646,7 +685,7 @@ func (n *Node) tryPrevote(p *Proposal) {
 func (n *Node) castVote(t VoteType, blockID string) {
 	v := &Vote{Height: n.height, Round: n.round, Type: t, BlockID: blockID, Voter: n.id}
 	v.Sig = n.suite.Sign(n.key, n.voteSignBytes(v))
-	n.net.Broadcast(n.id, v, voteWireSize)
+	n.broadcast(v, voteWireSize)
 	n.handleVote(v) // self-delivery
 }
 

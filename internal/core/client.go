@@ -41,6 +41,11 @@ func RegisterClientKey(registry *setcrypto.Registry, n int, id wire.ClientID, pu
 // ID returns the client id.
 func (c *Client) ID() wire.ClientID { return c.id }
 
+// PublicKey returns the client's verification key, so deployments that
+// span several PKI registries (sharded worlds, where a client's element
+// may land on any shard) can register it everywhere.
+func (c *Client) PublicKey() setcrypto.PublicKey { return c.key.Public }
+
 // NewElement creates and signs a full-fidelity element carrying payload.
 func (c *Client) NewElement(payload []byte) *wire.Element {
 	c.seq++

@@ -44,17 +44,33 @@ func Deploy(s *sim.Simulator, n int, ledgerCfg ledger.Config, opts Options, rec 
 		d.Servers = append(d.Servers, srv)
 	}
 	for i := 0; i < n; i++ {
-		id := wire.ClientID(i)
+		// ClientIDBase keeps client ids (and the element ids derived from
+		// them) globally unique when several shard deployments share one
+		// world; the classic single-deployment base is 0.
+		id := wire.ClientID(ledgerCfg.ClientIDBase + i)
 		var kp setcrypto.KeyPair
 		if _, real := lc.Suite.(setcrypto.Ed25519Suite); real {
 			kp = setcrypto.GenerateKeyPair(s.Rand())
 		} else {
-			kp = setcrypto.FastKeyPair(clientKeyOffset(n) + i)
+			kp = setcrypto.FastKeyPair(int(id) + clientKeyOffset(n))
 		}
 		RegisterClientKey(lc.Registry, n, id, kp.Public)
 		d.Clients = append(d.Clients, NewClient(id, lc.Suite, kp, lc.Registry, n, opts.F, opts.Mode))
 	}
 	return d
+}
+
+// Server returns the deployment's server with the given node id, or nil.
+// Servers are stored in deployment order; in sharded worlds their ids are
+// offset by the shard's ledger.Config.FirstID, so lookups go through the
+// id rather than the slice index.
+func (d *Deployment) Server(id wire.NodeID) *Server {
+	for _, s := range d.Servers {
+		if s.ID() == id {
+			return s
+		}
+	}
+	return nil
 }
 
 // Start launches the ledger.

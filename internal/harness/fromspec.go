@@ -49,6 +49,7 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		Name:         sp.Name,
 		Spec:         AlgSpec{Alg: alg, Collector: sp.Collector, Light: sp.Light},
 		Servers:      sp.Servers,
+		Shards:       sp.Shards,
 		Rate:         sp.Rate,
 		SendFor:      sp.SendFor.Std(),
 		Horizon:      sp.Horizon.Std(),

@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/setcrypto"
+	"repro/internal/shard"
 	"repro/internal/sim"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -95,6 +96,12 @@ type Scenario struct {
 	// (and leaves ceilings untouched); used to shrink the largest runs for
 	// quick regression passes. 0 = 1.
 	Scale float64
+	// Shards splits the element space across this many independent
+	// Setchain instances — each a Servers-sized consensus group — inside
+	// one shared network, with elements routed by id digest and Rate the
+	// aggregate across all shards (internal/shard, DESIGN.md §10). 0 or 1
+	// runs the classic single instance.
+	Shards int
 	// Mode selects crypto fidelity: Modeled (default, the evaluation) or
 	// Full (real ed25519/SHA-512/Deflate over real payloads).
 	Mode core.Mode
@@ -147,6 +154,9 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Name == "" {
 		sc.Name = fmt.Sprintf("%s n=%d rate=%.0f delay=%v",
 			sc.Spec.Label(), sc.Servers, sc.Rate, sc.NetworkDelay)
+		if sc.Shards > 1 {
+			sc.Name += fmt.Sprintf(" shards=%d", sc.Shards)
+		}
 	}
 	return sc
 }
@@ -175,10 +185,51 @@ type Result struct {
 	Events uint64
 	// Invariant is the end-of-run safety verdict: nil when every Setchain
 	// safety invariant held across the correct servers (internal/invariant;
-	// checked on every scenario, faulted or not). A non-nil value is a
-	// safety violation — a bug in the system under test or the checker —
-	// and also increments the package-wide InvariantViolations counter.
+	// checked on every scenario, faulted or not). For sharded scenarios it
+	// joins every shard's per-shard check with the cross-shard check
+	// (router completeness, no cross-shard duplication or fabrication,
+	// superepoch integrity). A non-nil value is a safety violation — a bug
+	// in the system under test or the checker — and also increments the
+	// package-wide InvariantViolations counter.
 	Invariant error
+	// PerShard holds per-shard summaries when the scenario ran sharded
+	// (Shards > 1); nil otherwise.
+	PerShard []shard.Stats
+	// SuperDigests is the sharded run's cross-shard superepoch digest
+	// sequence (internal/shard.View.Digests): the compact fingerprint
+	// "same seed ⇒ same superepoch sequence" pins. Nil for single-instance
+	// runs.
+	SuperDigests []uint64
+}
+
+// deployConfig derives the server options and ledger config a defaulted
+// scenario prescribes — the one definition both the single-instance and
+// the sharded executor paths build their deployments from, so a
+// scale_tput entry's S=1 and S=4 cells cannot silently run different
+// configurations.
+func deployConfig(sc Scenario) (core.Options, ledger.Config) {
+	netCfg := netsim.DefaultLANConfig()
+	netCfg.ExtraDelay = sc.NetworkDelay
+	if sc.Bandwidth > 0 {
+		netCfg.Bandwidth = sc.Bandwidth
+	}
+	opts := core.Options{
+		Algorithm:      sc.Spec.Alg,
+		Mode:           sc.Mode,
+		Light:          sc.Spec.Light,
+		CollectorLimit: sc.Spec.Collector,
+		Costs:          core.PaperCostModel(),
+		F:              (sc.Servers - 1) / 2,
+	}
+	lcfg := ledger.Config{
+		Net:       netCfg,
+		Consensus: consensus.PaperParams(),
+		Mempool:   mempool.PaperConfig(),
+	}
+	if sc.Mode == core.Full {
+		lcfg.Suite = setcrypto.Ed25519Suite{}
+	}
+	return opts, lcfg
 }
 
 // Run executes one scenario to its horizon and gathers measurements.
@@ -198,32 +249,13 @@ func Run(sc Scenario) *Result {
 // configuration (see RunMany).
 func runScenario(sc Scenario) *Result {
 	sc = sc.withDefaults()
+	if sc.Shards > 1 {
+		return runShardedScenario(sc)
+	}
 	s := sim.New(sc.Seed)
 	n := sc.Servers
-	f := (n - 1) / 2
-	rec := metrics.New(s, sc.Level, n, f, 0)
-
-	netCfg := netsim.DefaultLANConfig()
-	netCfg.ExtraDelay = sc.NetworkDelay
-	if sc.Bandwidth > 0 {
-		netCfg.Bandwidth = sc.Bandwidth
-	}
-	opts := core.Options{
-		Algorithm:      sc.Spec.Alg,
-		Mode:           sc.Mode,
-		Light:          sc.Spec.Light,
-		CollectorLimit: sc.Spec.Collector,
-		Costs:          core.PaperCostModel(),
-		F:              f,
-	}
-	lcfg := ledger.Config{
-		Net:       netCfg,
-		Consensus: consensus.PaperParams(),
-		Mempool:   mempool.PaperConfig(),
-	}
-	if sc.Mode == core.Full {
-		lcfg.Suite = setcrypto.Ed25519Suite{}
-	}
+	opts, lcfg := deployConfig(sc)
+	rec := metrics.New(s, sc.Level, n, opts.F, 0)
 	d := core.Deploy(s, n, lcfg, opts, rec)
 	applyByzantine(d, sc.Byzantine)
 	sc.Faults.Scaled(sc.Scale).Install(s, d.Ledger.Net)

@@ -1,0 +1,147 @@
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/invariant"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// The sharded executor path (Scenario.Shards > 1): S independent
+// Setchain instances in one shared network, a digest-routed workload, and
+// aggregated metrics. The single-instance path in harness.go is untouched
+// — a Shards <= 1 scenario runs exactly the code it always did, so every
+// pre-sharding result stays byte-identical. See DESIGN.md §10.
+
+// runShardedScenario executes one sharded scenario. sc is already
+// defaulted; Rate/SendFor carry the scale.
+func runShardedScenario(sc Scenario) *Result {
+	s := sim.New(sc.Seed)
+	n := sc.Servers
+	opts, lcfg := deployConfig(sc)
+	d := shard.Deploy(s, sc.Shards, n, lcfg, opts, sc.Level)
+	for _, sd := range d.Shards {
+		// The highest-indexed servers of EVERY shard misbehave; each
+		// shard's observer (its first server) stays correct, mirroring the
+		// single-instance rule.
+		applyByzantine(sd, sc.Byzantine)
+	}
+	// One shared fault controller: plan node ids are global, so a
+	// partition can just as well split a shard internally as cut across
+	// shard boundaries.
+	sc.Faults.Scaled(sc.Scale).Install(s, d.Net)
+
+	gen := shard.NewGenerator(d, shard.WorkloadConfig{
+		Rate:         sc.Rate,
+		Duration:     sc.SendFor,
+		Sizes:        sc.Sizes,
+		Tick:         sc.Tick,
+		FullPayloads: sc.Mode == core.Full,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(sc.Horizon)
+	d.Stop()
+
+	res := &Result{
+		Scenario:   sc,
+		CommitFrac: make(map[int]time.Duration),
+		// Shards are independent instances, so the Appendix D model value
+		// for the aggregate is S times the per-instance one.
+		Analytical: sc.Spec.AnalyticalThroughput(n) * float64(sc.Shards),
+		Events:     s.Executed(),
+	}
+
+	// Aggregate the per-shard recorders. Totals and checkpoint counts sum;
+	// series and commit fractions come from the merged per-second buckets,
+	// so they keep exactly the bucket semantics of a single recorder.
+	var buckets []uint64
+	for k, rec := range d.Recorders {
+		res.Injected += rec.TotalInjected()
+		res.Committed += rec.TotalCommitted()
+		res.AvgTput += rec.AvgThroughputUpTo(sc.SendFor)
+		obs := d.Shards[k].Server(d.Observer(k))
+		res.PerShard = append(res.PerShard, shard.Stats{
+			Shard:     k,
+			Injected:  rec.TotalInjected(),
+			Committed: rec.TotalCommitted(),
+			AvgTput:   rec.AvgThroughputUpTo(sc.SendFor),
+			Epochs:    len(obs.Get().History),
+			Blocks:    len(d.Shards[k].Ledger.Nodes[0].Cons.Chain()),
+		})
+		res.Blocks += res.PerShard[k].Blocks
+		for i, c := range rec.CommittedPerSecond() {
+			for len(buckets) <= i {
+				buckets = append(buckets, 0)
+			}
+			buckets[i] += c
+		}
+	}
+	res.Eff50 = bucketEfficiency(buckets, res.Injected, sc.SendFor)
+	res.Eff75 = bucketEfficiency(buckets, res.Injected, sc.SendFor*3/2)
+	res.Eff100 = bucketEfficiency(buckets, res.Injected, sc.SendFor*2)
+	res.Series = metrics.BucketSeries(buckets, 9*time.Second)
+	fracs := map[int]float64{0: 0, 10: 0.10, 20: 0.20, 30: 0.30, 40: 0.40, 50: 0.50}
+	for pct, frac := range fracs {
+		if t, ok := metrics.BucketTimeAtFraction(buckets, res.Injected, frac); ok {
+			res.CommitFrac[pct] = t
+		}
+	}
+
+	// Safety: every shard must be a correct Setchain on its own, and the
+	// shards must compose — router completeness, no cross-shard
+	// duplication or fabrication, superepoch integrity.
+	view := d.View()
+	res.SuperDigests = view.Digests()
+	var errs []error
+	for k, sd := range d.Shards {
+		if err := invariant.Check(sd, invariant.Config{
+			Correct:         shardCorrectIDs(k, n, sc.Byzantine),
+			Injected:        gen.InjectedIDs(),
+			CommittedEpochs: d.Recorders[k].CommittedEpochSizes(),
+			Observer:        d.Observer(k),
+		}); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := invariant.CheckCross(view, invariant.CrossConfig{
+		Shards:   sc.Shards,
+		Injected: gen.InjectedIDs(),
+	}); err != nil {
+		errs = append(errs, err)
+	}
+	res.Invariant = errors.Join(errs...)
+	if res.Invariant != nil {
+		invariantViolations.Add(1)
+	}
+	return res
+}
+
+// shardCorrectIDs maps the single-instance correct-server rule onto shard
+// k's global id range: all of the shard's servers minus the Faulty
+// highest-indexed ones, with the shard's observer (local index 0) always
+// correct.
+func shardCorrectIDs(k, n int, cfg ByzantineCfg) []wire.NodeID {
+	local := correctServerIDs(n, cfg)
+	ids := make([]wire.NodeID, len(local))
+	for i, id := range local {
+		ids[i] = wire.NodeID(k*n) + id
+	}
+	return ids
+}
+
+// bucketEfficiency is Recorder.Efficiency over merged buckets: committed
+// by t divided by total injected. The bucket math itself is the metrics
+// package's (BucketCommittedBy and friends), so sharded checkpoints
+// cannot drift from single-instance semantics.
+func bucketEfficiency(buckets []uint64, injected uint64, t time.Duration) float64 {
+	if injected == 0 {
+		return 0
+	}
+	return float64(metrics.BucketCommittedBy(buckets, t)) / float64(injected)
+}

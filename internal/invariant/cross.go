@@ -1,0 +1,120 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// Cross-shard safety. Per-shard Check proves each shard is a correct
+// Setchain; CheckCross proves the shards compose into one correct sharded
+// set. The properties are the router's and the merge rule's contracts
+// made executable:
+//
+//   - router completeness: every element committed by shard s is owned by
+//     s under the deterministic router (no misrouting), so each id has
+//     exactly one home;
+//   - no cross-shard duplication: an element appears in at most one
+//     shard's history (the global structure is still a set);
+//   - no cross-shard fabrication: every committed element across all
+//     shards was injected by the workload;
+//   - superepoch integrity: the view's superepoch sequence is exactly the
+//     deterministic merge of the per-shard histories — contiguous 1..K
+//     numbering, the right parts in shard order, matching digests — so
+//     dropping a shard's epoch, reordering superepochs or fabricating one
+//     is a finite-state difference this check catches.
+//
+// Like Check, CheckCross must not be vacuously green: its mutation tests
+// corrupt a merged ledger five ways (cross-shard duplicate, dropped shard
+// epoch, misrouted id, fabricated element, reordered superepochs) and
+// assert each corruption fails. See DESIGN.md §10.
+
+// CrossConfig scopes a cross-shard check.
+type CrossConfig struct {
+	// Shards is the deployment's shard count S the router ran with.
+	Shards int
+	// Injected is the set of element ids the workload's clients created
+	// and servers accepted, across all shards. Nil skips the fabrication
+	// check.
+	Injected map[wire.ElementID]struct{}
+}
+
+// CheckCross verifies the cross-shard invariants against a deployment's
+// aggregated view and returns all violations joined into one error, or
+// nil. The view's Histories are each shard observer's final history (per
+// shard correctness is Check's job, run per shard); Supers is the merged
+// sequence under test.
+func CheckCross(v *shard.View, cfg CrossConfig) error {
+	var errs []error
+	if len(v.Histories) != cfg.Shards {
+		errs = append(errs, fmt.Errorf(
+			"view has %d shard histories, deployment ran %d shards", len(v.Histories), cfg.Shards))
+	}
+
+	// Router completeness, cross-shard duplication and fabrication: one
+	// pass over every shard's every epoch.
+	owner := make(map[wire.ElementID]int)
+	for s, hist := range v.Histories {
+		for _, ep := range hist {
+			for _, e := range ep.Elements {
+				if want := shard.Route(e.ID, cfg.Shards); want != s {
+					errs = append(errs, fmt.Errorf(
+						"misrouted element %v: committed by shard %d, router owns it to shard %d",
+						e.ID, s, want))
+				}
+				if prev, dup := owner[e.ID]; dup && prev != s {
+					errs = append(errs, fmt.Errorf(
+						"element %v duplicated across shards %d and %d", e.ID, prev, s))
+				} else {
+					owner[e.ID] = s
+				}
+				if cfg.Injected != nil {
+					if _, ok := cfg.Injected[e.ID]; !ok {
+						errs = append(errs, fmt.Errorf(
+							"shard %d: fabricated element %v in epoch %d: never injected by the workload",
+							s, e.ID, ep.Number))
+					}
+				}
+			}
+		}
+	}
+
+	// Superepoch integrity: the claimed sequence must be exactly the
+	// deterministic merge of the histories.
+	want := shard.Merge(v.Histories)
+	if len(v.Supers) != len(want) {
+		errs = append(errs, fmt.Errorf(
+			"superepoch sequence has %d entries, merge of the shard histories yields %d",
+			len(v.Supers), len(want)))
+	}
+	for i := 0; i < len(v.Supers) && i < len(want); i++ {
+		got, exp := v.Supers[i], want[i]
+		if got.Number != exp.Number {
+			errs = append(errs, fmt.Errorf(
+				"superepoch at position %d is numbered %d, want %d (sequence must be contiguous 1..K)",
+				i, got.Number, exp.Number))
+		}
+		if len(got.Parts) != len(exp.Parts) {
+			errs = append(errs, fmt.Errorf(
+				"superepoch %d has %d shard parts, merge yields %d (a shard's epoch was dropped or invented)",
+				exp.Number, len(got.Parts), len(exp.Parts)))
+			continue
+		}
+		for j := range got.Parts {
+			if got.Parts[j].Shard != exp.Parts[j].Shard {
+				errs = append(errs, fmt.Errorf(
+					"superepoch %d part %d comes from shard %d, want shard %d (parts are shard-ascending)",
+					exp.Number, j, got.Parts[j].Shard, exp.Parts[j].Shard))
+			}
+		}
+		if got.Digest != exp.Digest {
+			errs = append(errs, fmt.Errorf(
+				"superepoch %d digest %016x does not match the merge's %016x",
+				exp.Number, got.Digest, exp.Digest))
+		}
+	}
+
+	return errors.Join(errs...)
+}

@@ -72,11 +72,15 @@ func Check(d *core.Deployment, cfg Config) error {
 	var errs []error
 	snaps := make(map[wire.NodeID]core.Snapshot, len(cfg.Correct))
 	for _, id := range cfg.Correct {
-		if int(id) < 0 || int(id) >= len(d.Servers) {
+		// Resolve by node id, not slice index: sharded worlds offset every
+		// shard's node ids, so a shard deployment's servers carry ids that
+		// are not their positions.
+		srv := d.Server(id)
+		if srv == nil {
 			errs = append(errs, fmt.Errorf("correct server %d not in deployment of %d", id, len(d.Servers)))
 			continue
 		}
-		snaps[id] = d.Servers[id].Get()
+		snaps[id] = srv.Get()
 	}
 
 	// Per-server checks: monotone numbering, no duplication, no

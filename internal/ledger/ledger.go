@@ -76,8 +76,23 @@ func (n *Node) receive(from wire.NodeID, payload any, size int) {
 type Config struct {
 	// N is the number of servers (validators).
 	N int
-	// Net configures the simulated network.
+	// FirstID offsets the cluster's node ids: validators are
+	// FirstID..FirstID+N-1. Zero gives the classic 0..N-1 ids; sharded
+	// worlds (internal/shard) give every shard's cluster a disjoint range
+	// so several independent consensus groups can share one network.
+	FirstID wire.NodeID
+	// ClientIDBase offsets the deployment's client ids (and thus their PKI
+	// registry slots) the same way FirstID offsets node ids. Consumed by
+	// core.Deploy; sharded worlds give each shard a disjoint client range
+	// so element ids stay globally unique across shards.
+	ClientIDBase int
+	// Net configures the simulated network. Ignored when Network is set.
 	Net netsim.Config
+	// Network, when non-nil, attaches the cluster to an existing simulated
+	// fabric instead of building its own from Net. Sharded worlds pass one
+	// shared network to every shard's cluster, so scheduled faults and
+	// partitions compose across the whole deployment (DESIGN.md §10).
+	Network *netsim.Network
 	// Consensus holds the engine parameters (block size, block interval).
 	Consensus consensus.Params
 	// Mempool holds pool limits and gossip cadence.
@@ -109,23 +124,27 @@ func NewCluster(s *sim.Simulator, cfg Config) *Cluster {
 	if suite == nil {
 		suite = setcrypto.FastSuite{}
 	}
+	net := cfg.Network
+	if net == nil {
+		net = netsim.New(s, cfg.Net)
+	}
 	c := &Cluster{
 		Sim:      s,
-		Net:      netsim.New(s, cfg.Net),
+		Net:      net,
 		Suite:    suite,
 		Registry: setcrypto.NewRegistry(),
 	}
 	validators := make([]wire.NodeID, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		validators[i] = wire.NodeID(i)
+		validators[i] = cfg.FirstID + wire.NodeID(i)
 		var kp setcrypto.KeyPair
 		if _, real := suite.(setcrypto.Ed25519Suite); real {
 			kp = setcrypto.GenerateKeyPair(s.Rand())
 		} else {
-			kp = setcrypto.FastKeyPair(i)
+			kp = setcrypto.FastKeyPair(int(validators[i]))
 		}
 		c.Keys = append(c.Keys, kp)
-		c.Registry.Register(i, kp.Public)
+		c.Registry.Register(int(validators[i]), kp.Public)
 	}
 	for i := 0; i < cfg.N; i++ {
 		id := validators[i]
@@ -146,23 +165,28 @@ func NewCluster(s *sim.Simulator, cfg Config) *Cluster {
 }
 
 // SetApp installs the application (and its CheckTx) on one node. Must be
-// called before Start.
+// called before Start. id is the node's (possibly FirstID-offset) id.
 func (c *Cluster) SetApp(id wire.NodeID, app abci.Application) {
-	node := c.Nodes[int(id)]
+	node, key := c.node(id)
 	// Rebuild the consensus node with the real app; mempool gets the app's
 	// CheckTx as its admission filter.
-	peers := make([]wire.NodeID, 0, len(c.Nodes)-1)
 	validators := make([]wire.NodeID, 0, len(c.Nodes))
 	for _, n := range c.Nodes {
 		validators = append(validators, n.ID)
-		if n.ID != id {
-			peers = append(peers, n.ID)
-		}
 	}
-	_ = peers
 	node.Pool.SetCheck(app.CheckTx)
 	node.Cons = consensus.NewNode(id, validators, c.Sim, c.Net, node.Cons.Params(),
-		c.Suite, c.Keys[int(id)], c.Registry, node.Pool, app)
+		c.Suite, key, c.Registry, node.Pool, app)
+}
+
+// node resolves a node id to the cluster's node and its keypair.
+func (c *Cluster) node(id wire.NodeID) (*Node, setcrypto.KeyPair) {
+	for i, n := range c.Nodes {
+		if n.ID == id {
+			return n, c.Keys[i]
+		}
+	}
+	panic(fmt.Sprintf("ledger: no node %d in cluster", id))
 }
 
 // Start launches consensus on every node.

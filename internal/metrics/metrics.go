@@ -277,11 +277,29 @@ func (r *Recorder) TotalCommitted() uint64 { return r.totalComm }
 // LastCommitTime returns when the most recent epoch commit happened.
 func (r *Recorder) LastCommitTime() time.Duration { return r.lastCommit }
 
+// CommittedPerSecond returns a copy of the per-second committed-element
+// buckets (bucket i covers virtual second [i, i+1)). Aggregators — the
+// sharded executor sums several recorders' buckets — use it to compute
+// global series and commit-time fractions with the same bucket semantics
+// a single recorder has.
+func (r *Recorder) CommittedPerSecond() []uint64 {
+	return append([]uint64(nil), r.committed...)
+}
+
 // CommittedBy returns how many elements were committed at or before t.
 func (r *Recorder) CommittedBy(t time.Duration) uint64 {
+	return BucketCommittedBy(r.committed, t)
+}
+
+// BucketCommittedBy is CommittedBy over a caller-held bucket slice
+// (bucket i covers virtual second [i, i+1)). Aggregators — the sharded
+// executor merges several recorders' buckets — share this one
+// implementation so their checkpoint semantics cannot drift from a
+// single recorder's.
+func BucketCommittedBy(buckets []uint64, t time.Duration) uint64 {
 	var sum uint64
 	limit := int(t / bucketWidth)
-	for i, c := range r.committed {
+	for i, c := range buckets {
 		if i > limit {
 			break
 		}
@@ -317,16 +335,22 @@ type SeriesPoint struct {
 // ThroughputSeries returns the rolling average commit rate with the given
 // window (the paper plots a 9 s window), sampled once per second.
 func (r *Recorder) ThroughputSeries(window time.Duration) []SeriesPoint {
+	return BucketSeries(r.committed, window)
+}
+
+// BucketSeries is ThroughputSeries over a caller-held bucket slice (see
+// BucketCommittedBy for why the bucket math lives here).
+func BucketSeries(buckets []uint64, window time.Duration) []SeriesPoint {
 	w := int(window / bucketWidth)
 	if w < 1 {
 		w = 1
 	}
 	var out []SeriesPoint
 	var sum uint64
-	for i := 0; i < len(r.committed); i++ {
-		sum += r.committed[i]
+	for i := 0; i < len(buckets); i++ {
+		sum += buckets[i]
 		if i >= w {
-			sum -= r.committed[i-w]
+			sum -= buckets[i-w]
 		}
 		span := w
 		if i+1 < w {
@@ -344,12 +368,19 @@ func (r *Recorder) ThroughputSeries(window time.Duration) []SeriesPoint {
 // of all injected elements had committed, and ok=false if never reached
 // (Appendix F's commit-time metric).
 func (r *Recorder) CommitTimeAtFraction(frac float64) (time.Duration, bool) {
-	target := uint64(frac * float64(r.totalInj))
+	return BucketTimeAtFraction(r.committed, r.totalInj, frac)
+}
+
+// BucketTimeAtFraction is CommitTimeAtFraction over a caller-held bucket
+// slice and its injected total (see BucketCommittedBy for why the bucket
+// math lives here).
+func BucketTimeAtFraction(buckets []uint64, total uint64, frac float64) (time.Duration, bool) {
+	target := uint64(frac * float64(total))
 	if target == 0 {
 		target = 1
 	}
 	var sum uint64
-	for i, c := range r.committed {
+	for i, c := range buckets {
 		sum += c
 		if sum >= target {
 			return time.Duration(i+1) * bucketWidth, true

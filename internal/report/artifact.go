@@ -68,6 +68,14 @@ type Provenance struct {
 type ExperimentRecord struct {
 	// Name is the registry entry name or the scenario file path.
 	Name string `json:"name"`
+	// Git is the `git describe` state this record was (re)emitted at,
+	// set only when it differs from the artifact-level Provenance.Git:
+	// partial regenerations (setchain-report -emit-artifact -entries)
+	// re-run some entries at a newer commit without relabeling the
+	// records they did not touch. Empty means the record belongs to the
+	// provenance block's own run. Additive optional field — same schema
+	// generation (DESIGN.md §9).
+	Git string `json:"git,omitempty"`
 	// WallSeconds is the wall-clock cost of the whole experiment. Zero in
 	// deterministic artifacts (cmd/setchain-report strips it).
 	WallSeconds float64 `json:"wall_seconds,omitempty"`

@@ -169,6 +169,42 @@ func Collect(catalog []spec.Entry, scale float64) (*Artifact, error) {
 	return art, nil
 }
 
+// MergeExperiments overlays fresh experiment records onto a previous
+// artifact: records sharing a name are replaced in place, new names
+// append in the fresh artifact's order, everything else is kept.
+// Provenance stays honest in both directions: the artifact-level block
+// (git included) keeps describing the previous full-catalog run, so the
+// untouched records are never relabeled to a commit they did not run at,
+// while each fresh record carries the fresh run's git describe in its
+// own Git field whenever it differs. Only seed/mode are re-derived from
+// the merged record set. Callers pass a fresh artifact that has already
+// been runtime-stamped.
+func MergeExperiments(prev, fresh *Artifact) *Artifact {
+	out := &Artifact{
+		SchemaVersion: SchemaVersion,
+		Provenance:    prev.Provenance,
+		Experiments:   append([]ExperimentRecord(nil), prev.Experiments...),
+	}
+	for _, e := range fresh.Experiments {
+		if fresh.Provenance.Git != prev.Provenance.Git {
+			e.Git = fresh.Provenance.Git
+		}
+		replaced := false
+		for i := range out.Experiments {
+			if out.Experiments[i].Name == e.Name {
+				out.Experiments[i] = e
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			out.Experiments = append(out.Experiments, e)
+		}
+	}
+	out.Provenance.Seed, out.Provenance.Mode = CellsSeedMode(out.Experiments)
+	return out
+}
+
 // CellsSeedMode derives the provenance seed and crypto-mode summary from
 // the cells that actually ran: the common seed (0 when they differ) and
 // "modeled", "full" or "mixed". Deriving from the records rather than

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// mergeRecord builds a minimal experiment record with one cell at the
+// given seed.
+func mergeRecord(name string, seed int64) ExperimentRecord {
+	return ExperimentRecord{Name: name, Cells: []CellRecord{{
+		Spec:         spec.ScenarioSpec{Algorithm: spec.AlgHashchain, Rate: 100, Seed: seed}.WithDefaults(),
+		Measurements: map[string]float64{spec.MetricAvgTput: 1},
+		Invariant:    "ok",
+	}}}
+}
+
+// A partial regeneration must replace matching records, append new ones,
+// keep everything else byte-for-byte, and never relabel provenance: the
+// artifact-level git stays the previous full run's, while the fresh
+// records carry the fresh run's git themselves.
+func TestMergeExperimentsProvenance(t *testing.T) {
+	prev := &Artifact{
+		SchemaVersion: SchemaVersion,
+		Provenance:    Provenance{Tool: "setchain-report", Scale: 1, Git: "aaa111"},
+		Experiments: []ExperimentRecord{
+			mergeRecord("fig1", 1),
+			mergeRecord("scale_tput", 1),
+		},
+	}
+	fresh := &Artifact{
+		SchemaVersion: SchemaVersion,
+		Provenance:    Provenance{Tool: "setchain-report", Scale: 1, Git: "bbb222"},
+		Experiments: []ExperimentRecord{
+			mergeRecord("scale_tput", 1),
+			mergeRecord("scale_chaos", 1),
+		},
+	}
+	out := MergeExperiments(prev, fresh)
+	if got := out.Provenance.Git; got != "aaa111" {
+		t.Errorf("artifact-level git relabeled to %q; must keep the previous full run's", got)
+	}
+	names := map[string]ExperimentRecord{}
+	for _, e := range out.Experiments {
+		names[e.Name] = e
+	}
+	if len(out.Experiments) != 3 {
+		t.Fatalf("got %d experiments, want 3", len(out.Experiments))
+	}
+	if g := names["fig1"].Git; g != "" {
+		t.Errorf("untouched record carries git %q; must stay on the provenance block", g)
+	}
+	for _, rerun := range []string{"scale_tput", "scale_chaos"} {
+		if g := names[rerun].Git; g != "bbb222" {
+			t.Errorf("rerun record %q carries git %q, want the fresh run's", rerun, g)
+		}
+	}
+	if out.Experiments[0].Name != "fig1" || out.Experiments[1].Name != "scale_tput" ||
+		out.Experiments[2].Name != "scale_chaos" {
+		t.Errorf("merge order wrong: %s %s %s",
+			out.Experiments[0].Name, out.Experiments[1].Name, out.Experiments[2].Name)
+	}
+	// Same git on both sides ⇒ no per-record stamping at all.
+	fresh.Provenance.Git = "aaa111"
+	out = MergeExperiments(prev, fresh)
+	for _, e := range out.Experiments {
+		if e.Git != "" {
+			t.Errorf("record %q stamped git %q despite identical run git", e.Name, e.Git)
+		}
+	}
+}

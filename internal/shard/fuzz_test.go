@@ -1,0 +1,103 @@
+package shard
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/wire"
+)
+
+// FuzzShardRouter throws arbitrary tx payload bytes at the router and
+// asserts its contract for every shard count the scale_* family uses:
+// the assignment is in range (every key maps to exactly one shard — the
+// function is total and single-valued by construction, so "exactly one"
+// reduces to "in [0, S)"), it is pure and stable across calls, and it is
+// consistent with the digest it claims to reduce.
+func FuzzShardRouter(f *testing.F) {
+	// Seed corpus: the structured ids real clients produce (little-endian
+	// client and seq words), the degenerate ones, and some spread bytes.
+	// TestRouterReachesAllShards proves this corpus — extended with the
+	// client/seq grid — reaches every shard at every S below.
+	for _, c := range []uint64{0, 1, 2, 7, 8, 63, 1 << 20} {
+		for _, seq := range []uint64{0, 1, 2, 3, 100, 1e6} {
+			var b [16]byte
+			binary.LittleEndian.PutUint64(b[0:8], c)
+			binary.LittleEndian.PutUint64(b[8:16], seq)
+			f.Add(b[:])
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff})
+	f.Add([]byte("arbitrary tx payload bytes, longer than an element id"))
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var id wire.ElementID
+		copy(id[:], payload)
+		digest := RouteDigest(id)
+		for _, shards := range []int{1, 2, 3, 4, 8, 64} {
+			got := Route(id, shards)
+			if got < 0 || got >= shards {
+				t.Fatalf("Route(%v, %d) = %d out of range", id, shards, got)
+			}
+			if again := Route(id, shards); again != got {
+				t.Fatalf("Route(%v, %d) unstable: %d then %d", id, shards, got, again)
+			}
+			if shards > 1 && got != int(digest%uint64(shards)) {
+				t.Fatalf("Route(%v, %d) = %d, digest %% %d = %d",
+					id, shards, got, shards, digest%uint64(shards))
+			}
+		}
+		if RouteDigest(id) != digest {
+			t.Fatalf("RouteDigest(%v) unstable", id)
+		}
+		// shards <= 1 must always be shard 0 (the single-instance world).
+		if Route(id, 1) != 0 || Route(id, 0) != 0 || Route(id, -3) != 0 {
+			t.Fatalf("Route(%v, <=1) must be 0", id)
+		}
+	})
+}
+
+// TestRouterReachesAllShards proves the router has no unreachable shard:
+// over the id shapes real workloads produce (dense client ids crossed
+// with dense sequence numbers — exactly what Client.fillID emits), every
+// shard of every deployment size receives keys.
+func TestRouterReachesAllShards(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8, 16, 64} {
+		hit := make([]int, shards)
+		for c := 0; c < 32; c++ {
+			for seq := uint64(1); seq <= 64; seq++ {
+				var id wire.ElementID
+				binary.LittleEndian.PutUint64(id[0:8], uint64(c))
+				binary.LittleEndian.PutUint64(id[8:16], seq)
+				hit[Route(id, shards)]++
+			}
+		}
+		for s, n := range hit {
+			if n == 0 {
+				t.Errorf("S=%d: shard %d unreachable over the client/seq grid", shards, s)
+			}
+		}
+	}
+}
+
+// TestRouterBalance sanity-checks the spread: over a large structured id
+// population no shard may be starved or hold a gross majority (the FNV
+// mix must break the little-endian id structure).
+func TestRouterBalance(t *testing.T) {
+	const shards, total = 8, 64 * 1024
+	hit := make([]int, shards)
+	for c := 0; c < 64; c++ {
+		for seq := uint64(1); seq <= total/64; seq++ {
+			var id wire.ElementID
+			binary.LittleEndian.PutUint64(id[0:8], uint64(c))
+			binary.LittleEndian.PutUint64(id[8:16], seq)
+			hit[Route(id, shards)]++
+		}
+	}
+	want := total / shards
+	for s, n := range hit {
+		if n < want/2 || n > want*2 {
+			t.Errorf("shard %d holds %d of %d keys (expected ~%d): router is skewed", s, n, total, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package shard
+
+import "repro/internal/wire"
+
+// The router is the contract the whole sharded layer rests on: a pure
+// function from element identity to shard index. Injection, the
+// cross-shard safety checker and client-side lookups must all agree on
+// it, so it lives here alone and takes nothing but the id and the shard
+// count — no deployment state, no randomness, no clocks.
+
+// fnvOffset/fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// RouteDigest returns the 64-bit routing digest of an element id: FNV-1a
+// over the full 16 id bytes. Element ids embed (client, seq) as plain
+// little-endian words, so reducing the raw id modulo S would glue each
+// client to one shard; hashing first spreads every client's stream across
+// the whole shard space. Zero-allocation: this runs once per injected
+// element.
+func RouteDigest(id wire.ElementID) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range id {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Route returns the shard owning the element id in a deployment of S
+// shards: RouteDigest(id) mod S. It is total, pure and stable — the same
+// id maps to the same shard on every call, in every process — which is
+// what makes "every id lands in exactly one shard" checkable after the
+// fact (invariant.CheckCross). shards <= 1 always routes to shard 0.
+func Route(id wire.ElementID, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	return int(RouteDigest(id) % uint64(shards))
+}

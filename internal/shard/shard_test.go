@@ -1,0 +1,161 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/consensus"
+	"repro/internal/core"
+	"repro/internal/ledger"
+	"repro/internal/mempool"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// epoch builds a test epoch with the given number and element ids.
+func epoch(number uint64, ids ...byte) *core.Epoch {
+	ep := &core.Epoch{Number: number, Hash: []byte{byte(number), 0xaa}}
+	for _, id := range ids {
+		ep.Elements = append(ep.Elements, &wire.Element{ID: wire.ElementID{id}})
+	}
+	return ep
+}
+
+func TestMergeSuperepochs(t *testing.T) {
+	// Shard 0 has 3 epochs, shard 1 has 1, shard 2 has 2: superepochs 2
+	// and 3 must carry only the shards that got that far, shard-ascending.
+	histories := [][]*core.Epoch{
+		{epoch(1, 1), epoch(2, 2), epoch(3, 3)},
+		{epoch(1, 4)},
+		{epoch(1, 5), epoch(2, 6)},
+	}
+	supers := Merge(histories)
+	if len(supers) != 3 {
+		t.Fatalf("got %d superepochs, want 3", len(supers))
+	}
+	wantParts := [][]int{{0, 1, 2}, {0, 2}, {0}}
+	for i, se := range supers {
+		if se.Number != uint64(i+1) {
+			t.Errorf("superepoch %d numbered %d", i, se.Number)
+		}
+		if len(se.Parts) != len(wantParts[i]) {
+			t.Fatalf("superepoch %d has %d parts, want %d", se.Number, len(se.Parts), len(wantParts[i]))
+		}
+		for j, p := range se.Parts {
+			if p.Shard != wantParts[i][j] {
+				t.Errorf("superepoch %d part %d from shard %d, want %d", se.Number, j, p.Shard, wantParts[i][j])
+			}
+			if p.Epoch.Number != se.Number {
+				t.Errorf("superepoch %d carries epoch %d of shard %d", se.Number, p.Epoch.Number, p.Shard)
+			}
+		}
+		if se.Digest == 0 {
+			t.Errorf("superepoch %d has zero digest", se.Number)
+		}
+	}
+	if supers[0].Elements() != 3 || supers[1].Elements() != 2 || supers[2].Elements() != 1 {
+		t.Errorf("element counts wrong: %d %d %d",
+			supers[0].Elements(), supers[1].Elements(), supers[2].Elements())
+	}
+
+	// The digest must be sensitive to content: change one epoch hash and
+	// superepoch 2's digest (and only it) must move.
+	histories[2][1].Hash[1] ^= 0x01
+	again := Merge(histories)
+	if again[1].Digest == supers[1].Digest {
+		t.Error("digest unchanged after corrupting a contributing epoch hash")
+	}
+	if again[0].Digest != supers[0].Digest || again[2].Digest != supers[2].Digest {
+		t.Error("unrelated superepoch digests moved")
+	}
+}
+
+// deployTestWorld runs a small 2-shard deployment end to end and returns
+// the deployment and its generator.
+func deployTestWorld(t *testing.T, shards int, rate float64) (*Deployment, *Generator) {
+	t.Helper()
+	s := sim.New(7)
+	d := Deploy(s, shards, 4, ledger.Config{
+		Net:       netsim.DefaultLANConfig(),
+		Consensus: consensus.PaperParams(),
+		Mempool:   mempool.PaperConfig(),
+	}, core.Options{
+		Algorithm:      core.Hashchain,
+		CollectorLimit: 100,
+		Costs:          core.PaperCostModel(),
+		F:              1,
+	}, metrics.LevelThroughput)
+	gen := NewGenerator(d, WorkloadConfig{Rate: rate, Duration: 6 * time.Second})
+	d.Start()
+	gen.Start()
+	s.RunUntil(30 * time.Second)
+	d.Stop()
+	return d, gen
+}
+
+// TestDeploymentRoutesAndCommits drives a real 2-shard world: the world
+// must commit, every committed element must sit on the shard the router
+// owns it to, per-shard injection must sum to the total, and the view's
+// superepoch sequence must be the merge of the observer histories.
+func TestDeploymentRoutesAndCommits(t *testing.T) {
+	d, gen := deployTestWorld(t, 2, 800)
+	if gen.Injected() == 0 {
+		t.Fatal("nothing injected")
+	}
+	var perShard uint64
+	for _, n := range gen.PerShardInjected() {
+		perShard += n
+	}
+	if perShard != gen.Injected() {
+		t.Fatalf("per-shard injections sum to %d, total is %d", perShard, gen.Injected())
+	}
+	for k := range gen.PerShardInjected() {
+		if gen.PerShardInjected()[k] == 0 {
+			t.Fatalf("shard %d received no elements: router starved it", k)
+		}
+	}
+	view := d.View()
+	committed := 0
+	for k, hist := range view.Histories {
+		if len(hist) == 0 {
+			t.Fatalf("shard %d committed no epochs", k)
+		}
+		for _, ep := range hist {
+			for _, e := range ep.Elements {
+				committed++
+				if Route(e.ID, d.Count()) != k {
+					t.Fatalf("element %v committed on shard %d, router owns shard %d",
+						e.ID, k, Route(e.ID, d.Count()))
+				}
+			}
+		}
+	}
+	if committed == 0 {
+		t.Fatal("no elements committed")
+	}
+	if len(view.Supers) == 0 {
+		t.Fatal("no superepochs")
+	}
+	recomputed := Merge(view.Histories)
+	if len(recomputed) != len(view.Supers) {
+		t.Fatalf("view has %d superepochs, merge yields %d", len(view.Supers), len(recomputed))
+	}
+	for i := range recomputed {
+		if recomputed[i].Digest != view.Supers[i].Digest {
+			t.Fatalf("superepoch %d digest drifts from the merge", i+1)
+		}
+	}
+	// Observer ids and node id partitioning.
+	for k, sd := range d.Shards {
+		if got := d.Observer(k); got != wire.NodeID(k*4) {
+			t.Fatalf("observer of shard %d is %d", k, got)
+		}
+		for i, srv := range sd.Servers {
+			if srv.ID() != wire.NodeID(k*4+i) {
+				t.Fatalf("shard %d server %d carries id %d", k, i, srv.ID())
+			}
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package shard
+
+import (
+	"encoding/binary"
+
+	"repro/internal/core"
+)
+
+// The aggregated view. A single Setchain exposes one totally-ordered
+// epoch history; a sharded world exposes S of them. The superepoch merge
+// re-imposes one deterministic global order without inventing cross-shard
+// consensus: superepoch i is "epoch i of every shard that got that far",
+// shard-ascending. The rule needs no clocks and no communication — it is
+// a pure function of the per-shard histories, so any observer (and the
+// cross-shard checker) recomputes the identical sequence from the same
+// final state, and a seeded run's superepoch sequence is reproducible
+// bit for bit.
+
+// Part is one shard's contribution to a superepoch.
+type Part struct {
+	// Shard is the contributing shard's index.
+	Shard int
+	// Epoch is that shard's epoch with Number == the superepoch's.
+	Epoch *core.Epoch
+}
+
+// Superepoch is one entry of the merged cross-shard history.
+type Superepoch struct {
+	// Number is the 1-based superepoch number; parts all carry the same
+	// per-shard epoch number.
+	Number uint64
+	// Parts holds the contributing shards in ascending shard order. Shards
+	// whose history is shorter than Number are absent.
+	Parts []Part
+	// Digest chains the superepoch's identity: number, contributing shard
+	// indices and their epoch hashes (see superDigest). Two views agree on
+	// a superepoch iff they agree on every contributing epoch.
+	Digest uint64
+}
+
+// Elements returns the superepoch's total element count across parts.
+func (se *Superepoch) Elements() int {
+	n := 0
+	for _, p := range se.Parts {
+		n += len(p.Epoch.Elements)
+	}
+	return n
+}
+
+// View is the cross-shard aggregate over the per-shard observer
+// histories: the input streams and their superepoch merge. The checker
+// (invariant.CheckCross) treats the fields as the claim under test, so
+// tests corrupt them freely.
+type View struct {
+	// Histories holds each shard observer's epoch history, indexed by
+	// shard.
+	Histories [][]*core.Epoch
+	// Supers is the merged superepoch sequence, numbered 1..K contiguously
+	// where K is the longest shard history.
+	Supers []*Superepoch
+}
+
+// NewView merges per-shard histories into the superepoch sequence.
+func NewView(histories [][]*core.Epoch) *View {
+	return &View{Histories: histories, Supers: Merge(histories)}
+}
+
+// Merge builds the superepoch sequence: for i = 1..max(len(history)),
+// superepoch i collects epoch i of every shard that has one, in shard
+// order, and seals the set under a digest.
+func Merge(histories [][]*core.Epoch) []*Superepoch {
+	longest := 0
+	for _, h := range histories {
+		if len(h) > longest {
+			longest = len(h)
+		}
+	}
+	supers := make([]*Superepoch, 0, longest)
+	for i := 0; i < longest; i++ {
+		se := &Superepoch{Number: uint64(i + 1)}
+		for k, h := range histories {
+			if i < len(h) {
+				se.Parts = append(se.Parts, Part{Shard: k, Epoch: h[i]})
+			}
+		}
+		se.Digest = superDigest(se.Number, se.Parts)
+		supers = append(supers, se)
+	}
+	return supers
+}
+
+// superDigest hashes a superepoch's identity: its number, then each
+// part's shard index, epoch number and epoch hash, FNV-1a chained in part
+// order. Fixed-width framing keeps the encoding unambiguous.
+func superDigest(number uint64, parts []Part) uint64 {
+	h := uint64(fnvOffset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	var w [8]byte
+	mixWord := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		for _, b := range w {
+			mix(b)
+		}
+	}
+	mixWord(number)
+	for _, p := range parts {
+		mixWord(uint64(p.Shard))
+		mixWord(p.Epoch.Number)
+		mixWord(uint64(len(p.Epoch.Hash)))
+		for _, b := range p.Epoch.Hash {
+			mix(b)
+		}
+	}
+	return h
+}
+
+// Digests returns the superepoch digest sequence — the compact fingerprint
+// determinism tests pin ("same seed ⇒ same superepoch sequence").
+func (v *View) Digests() []uint64 {
+	out := make([]uint64, len(v.Supers))
+	for i, se := range v.Supers {
+		out[i] = se.Digest
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"time"
+
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// The sharded workload generator IS internal/workload's injection shape
+// — it schedules through workload.Ticks and builds elements through
+// workload.BuildElement, so the timing and element construction cannot
+// fork from the single-instance generator — with one difference: after a
+// client creates an element, the ROUTER decides which shard commits it.
+// The client then adds it to its local-index server on the owning shard
+// (client i of any shard talks to server i of the target shard), and the
+// owning shard's recorder books the injection. Ids are always tracked:
+// the cross-shard checker needs the exact injected set.
+
+// WorkloadConfig drives a sharded generation run; the fields mirror
+// workload.Config.
+type WorkloadConfig struct {
+	// Rate is the aggregate sending rate in elements/second across ALL
+	// shards; each of the S·n clients injects at Rate/(S·n).
+	Rate float64
+	// Duration is how long clients keep adding.
+	Duration time.Duration
+	// Sizes describes element sizes; zero value uses ArbitrumSizes.
+	Sizes workload.SizeModel
+	// Tick batches injection bookkeeping (0 = 10 ms).
+	Tick time.Duration
+	// FullPayloads creates real signed payloads (Full mode deployments).
+	FullPayloads bool
+}
+
+// Generator injects a routed workload into a sharded deployment.
+type Generator struct {
+	cfg WorkloadConfig
+	d   *Deployment
+
+	injected uint64
+	rejected uint64
+	perShard []uint64
+	ids      map[wire.ElementID]struct{}
+	done     bool
+}
+
+// NewGenerator creates a generator for the sharded deployment.
+func NewGenerator(d *Deployment, cfg WorkloadConfig) *Generator {
+	if cfg.Sizes == (workload.SizeModel{}) {
+		cfg.Sizes = workload.ArbitrumSizes()
+	}
+	if cfg.Tick == 0 {
+		cfg.Tick = 10 * time.Millisecond
+	}
+	return &Generator{
+		cfg:      cfg,
+		d:        d,
+		perShard: make([]uint64, d.Count()),
+		ids:      make(map[wire.ElementID]struct{}),
+	}
+}
+
+// Start schedules the injection: every client of every shard adds from
+// virtual time 0 until cfg.Duration, then the generator drains every
+// shard's collectors. Flat client index c maps to shard c/n, local
+// client c%n, so the schedule's random draws happen in shard-major
+// order.
+func (g *Generator) Start() {
+	s := g.d.Sim
+	clients := g.d.Count() * g.d.Servers
+	perClient := g.cfg.Rate / float64(clients)
+	workload.Ticks(s, clients, perClient, g.cfg.Duration, g.cfg.Tick, func(c int) {
+		g.injectOne(c/g.d.Servers, c%g.d.Servers)
+	})
+	s.At(g.cfg.Duration, func() {
+		g.done = true
+		g.d.Drain()
+	})
+}
+
+// injectOne creates one element on client i of shard k and adds it to the
+// shard the router assigns.
+func (g *Generator) injectOne(k, i int) {
+	cl := g.d.Shards[k].Clients[i]
+	e := workload.BuildElement(g.d.Sim, cl, g.cfg.Sizes, g.cfg.FullPayloads)
+	target := Route(e.ID, g.d.Count())
+	if err := g.d.Shards[target].Servers[i].Add(e); err != nil {
+		g.rejected++
+		return
+	}
+	g.injected++
+	g.perShard[target]++
+	g.ids[e.ID] = struct{}{}
+	g.d.Recorders[target].Injected(e)
+}
+
+// Injected returns how many elements were accepted across all shards.
+func (g *Generator) Injected() uint64 { return g.injected }
+
+// Rejected returns how many adds the servers refused.
+func (g *Generator) Rejected() uint64 { return g.rejected }
+
+// PerShardInjected returns the accepted count per shard (the router's
+// observed balance). The slice is live state; treat it as read-only.
+func (g *Generator) PerShardInjected() []uint64 { return g.perShard }
+
+// InjectedIDs returns the ids of every accepted element. The map is live
+// state; treat it as read-only.
+func (g *Generator) InjectedIDs() map[wire.ElementID]struct{} { return g.ids }
+
+// Done reports whether the injection window has closed.
+func (g *Generator) Done() bool { return g.done }

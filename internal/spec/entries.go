@@ -365,6 +365,91 @@ func init() {
 		},
 	})
 	registerChaos()
+	registerScale()
+}
+
+// scaleCell is the base configuration of the scale_* family: one
+// deliberately overloaded workload whose shard count — not its load — is
+// the experiment. The aggregate rate (8,000 el/s) is ~3.2x one ledger's
+// Compresschain c=100 ceiling (Tc[100] ≈ 2,497 el/s), so a single
+// instance collapses while four shards (2,000 el/s each) commit
+// everything: the S=1→8 curve in RESULTS.md is the sharding payoff.
+func scaleCell(name string, shards int) ScenarioSpec {
+	s := compress(100)
+	s.Name = name
+	s.Group = fmt.Sprintf("S=%d", shards)
+	s.Servers = 4
+	s.Shards = shards
+	s.Rate = 8000
+	s.SendFor = Duration(30 * time.Second)
+	return s
+}
+
+// registerScale declares the sharded scale-out family (internal/shard;
+// beyond the paper): the same cell at S=1/2/4/8 for the throughput
+// scaling curve, and a sharded run under a scheduled fault plan to prove
+// the cross-shard safety argument holds when the shared network
+// misbehaves.
+func registerScale() {
+	Register(Entry{
+		Name:   "scale_tput",
+		Title:  "Sharded throughput scale-out, S=1/2/4/8",
+		Figure: "— (beyond the paper)",
+		Description: "Compresschain c=100 at an aggregate 8,000 el/s — ~3.2x one " +
+			"ledger's Tc[100] ceiling — split across S=1/2/4/8 shards of 4 servers " +
+			"each by the digest router (internal/shard). One instance collapses " +
+			"under the overload; at S=4 every shard runs below its own ceiling and " +
+			"aggregate throughput must reach at least 2.5x the S=1 number. Every " +
+			"cell passes both the per-shard Setchain checker and the cross-shard " +
+			"checker (router completeness, no cross-shard duplication, superepoch " +
+			"integrity).",
+		Cells: []ScenarioSpec{
+			scaleCell("sharded-tput", 1), scaleCell("sharded-tput", 2),
+			scaleCell("sharded-tput", 4), scaleCell("sharded-tput", 8),
+		},
+		Refs: []Reference{
+			repoRef(0, MetricAvgTput, 698, 0.3,
+				"S=1 collapses at 3.2x the Compresschain ceiling, as in Fig. 2 left"),
+			repoRef(1, MetricAvgTput, 2883, 0.3,
+				"S=2 still runs each shard at 1.6x its ceiling; partial recovery"),
+			repoRef(2, MetricAvgTput, 7644, 0.2,
+				"10.9x the S=1 number — far above the 2.5x acceptance floor for S=4"),
+			repoRef(3, MetricAvgTput, 7590, 0.2,
+				"rate-limited plateau: the offered 8,000 el/s, minus pipeline latency"),
+			repoRef(3, MetricEff2x, 1.0, 0.05,
+				"at S=8 every shard runs far below its ceiling; everything commits"),
+		},
+	})
+	Register(Entry{
+		Name:   "scale_chaos",
+		Title:  "Sharded run under a scheduled crash/restart",
+		Figure: "— (beyond the paper)",
+		Description: "Hashchain c=100 on 2 shards of 4 servers (8 nodes in one " +
+			"shared network) at an aggregate 2,400 el/s; global node 6 — shard 1's " +
+			"third server — crashes at t=8s and restarts at t=20s. The fault plan " +
+			"acts on the shared fabric, the crashed shard keeps committing on its " +
+			"3-server quorum, and both the per-shard and the cross-shard safety " +
+			"checkers must pass at the end of the run.",
+		Cells: []ScenarioSpec{func() ScenarioSpec {
+			s := hash(100)
+			s.Name = "sharded-crash"
+			s.Servers = 4
+			s.Shards = 2
+			s.Rate = 2400
+			s.SendFor = Duration(30 * time.Second)
+			s.Faults = &FaultSpec{Events: []FaultEventSpec{
+				{At: Duration(8 * time.Second), Action: FaultCrash, Nodes: []int{6}},
+				{At: Duration(20 * time.Second), Action: FaultRestart, Nodes: []int{6}},
+			}}
+			return s
+		}()},
+		Refs: []Reference{
+			repoRef(0, MetricEff2x, 1.0, 0.05,
+				"nothing is lost: the restarted server catches up and everything commits by 2x"),
+			repoRef(0, MetricEffSend, 0.81, 0.15,
+				"the send-end dent measures the 12 s outage on the crashed shard's 3/4 quorum"),
+		},
+	})
 }
 
 // chaosCell is the base configuration of the chaos_* family: a modest

@@ -81,12 +81,18 @@ func (f *FaultSpec) withDefaults() *FaultSpec {
 }
 
 // validate reports the first problem with the plan for a deployment of n
-// servers, or nil.
-func (f *FaultSpec) validate(n int) error {
+// servers per shard across the given shard count, or nil. Node ids are
+// global: shard k's servers are k·n..k·n+n-1 (shards <= 1 is the classic
+// single instance with ids 0..n-1).
+func (f *FaultSpec) validate(n, shards int) error {
+	if shards < 1 {
+		shards = 1
+	}
+	total := n * shards
 	inRange := func(ids []int) error {
 		for _, id := range ids {
-			if id < 0 || id >= n {
-				return fmt.Errorf("server %d out of range [0,%d)", id, n)
+			if id < 0 || id >= total {
+				return fmt.Errorf("server %d out of range [0,%d)", id, total)
 			}
 		}
 		return nil
@@ -108,8 +114,11 @@ func (f *FaultSpec) validate(n int) error {
 			}
 			if ev.Action == FaultCrash {
 				for _, id := range ev.Nodes {
-					if id == 0 {
-						return fail(fmt.Errorf("server 0 is the metrics observer and cannot crash"))
+					// Every shard's first server is that shard's metrics
+					// observer (the classic single-instance observer is
+					// server 0).
+					if id%n == 0 {
+						return fail(fmt.Errorf("server %d is shard %d's metrics observer and cannot crash", id, id/n))
 					}
 				}
 			}

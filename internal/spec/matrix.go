@@ -42,6 +42,12 @@ func Set(s *ScenarioSpec, key, value string) error {
 			return fail(err)
 		}
 		s.Servers = v
+	case "shards", "s":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.Shards = v
 	case "rate":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -138,7 +144,7 @@ func Set(s *ScenarioSpec, key, value string) error {
 
 // overrideKeys lists the canonical Set keys for error messages.
 var overrideKeys = []string{
-	"name", "group", "algorithm", "collector", "light", "servers", "rate",
+	"name", "group", "algorithm", "collector", "light", "servers", "shards", "rate",
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
 	"drop", "duplicate", "reorder",

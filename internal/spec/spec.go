@@ -141,8 +141,15 @@ type ScenarioSpec struct {
 	Collector int `json:"collector,omitempty"`
 	// Light disables the expensive pipeline half (Fig. 2 ablations).
 	Light bool `json:"light,omitempty"`
-	// Servers is the deployment size (paper: 4, 7, 10; default 10).
+	// Servers is the deployment size (paper: 4, 7, 10; default 10). In a
+	// sharded run this is the size of EACH shard's consensus group.
 	Servers int `json:"servers,omitempty"`
+	// Shards splits the element space across this many independent
+	// Setchain instances inside one shared network, routed by element-id
+	// digest (internal/shard; beyond the paper). 0 or 1 runs the classic
+	// single instance; the zero value stays unset so pre-sharding specs
+	// and artifacts round-trip unchanged.
+	Shards int `json:"shards,omitempty"`
 	// Rate is the aggregate sending rate in elements/second.
 	Rate float64 `json:"rate"`
 	// SendFor is how long clients keep adding (default 50s).
@@ -262,6 +269,16 @@ func (s ScenarioSpec) Validate() error {
 	if s.Servers < 1 {
 		return fmt.Errorf("servers must be >= 1, got %d", s.Servers)
 	}
+	if s.Shards < 0 {
+		return fmt.Errorf("shards must be >= 0, got %d", s.Shards)
+	}
+	if s.Shards > 64 {
+		return fmt.Errorf("shards must be <= 64, got %d (each shard is a full consensus group)", s.Shards)
+	}
+	if s.Shards > 1 && s.Metrics == MetricsStages {
+		return fmt.Errorf("stages metrics are per-instance and are not aggregated across shards yet (use %q)",
+			MetricsThroughput)
+	}
 	if s.Collector < 0 {
 		return fmt.Errorf("collector must be >= 0, got %d", s.Collector)
 	}
@@ -318,11 +335,21 @@ func (s ScenarioSpec) Validate() error {
 		}
 	}
 	if s.Faults != nil {
-		if err := s.Faults.validate(s.Servers); err != nil {
+		if err := s.Faults.validate(s.Servers, s.Shards); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// TotalServers returns the deployment's node count across all shards:
+// Servers per shard times the shard count (0 or 1 shards = one instance).
+// Fault-plan node ids live in this global space.
+func (s ScenarioSpec) TotalServers() int {
+	if s.Shards > 1 {
+		return s.Servers * s.Shards
+	}
+	return s.Servers
 }
 
 // Label renders the paper's legend label for the variant ("Hashchain

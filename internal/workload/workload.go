@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/sim"
 	"repro/internal/wire"
 )
 
@@ -117,50 +118,68 @@ func New(d *core.Deployment, rec *metrics.Recorder, cfg Config) *Generator {
 func (g *Generator) Start() {
 	s := g.d.Sim
 	perClient := g.cfg.Rate / float64(len(g.d.Clients))
-	for i := range g.d.Clients {
-		i := i
-		// Stagger client start within one tick to avoid lockstep bursts.
-		offset := time.Duration(s.Rand().Int63n(int64(g.cfg.Tick) + 1))
-		var carry float64
-		var tick func()
-		tick = func() {
-			if s.Now() >= g.cfg.Duration {
-				return
-			}
-			carry += perClient * g.cfg.Tick.Seconds()
-			n := int(carry)
-			carry -= float64(n)
-			for k := 0; k < n; k++ {
-				g.injectOne(i)
-			}
-			s.After(g.cfg.Tick, tick)
-		}
-		s.At(offset, tick)
-	}
+	Ticks(s, len(g.d.Clients), perClient, g.cfg.Duration, g.cfg.Tick, g.injectOne)
 	s.At(g.cfg.Duration, func() {
 		g.done = true
 		g.d.Drain()
 	})
 }
 
-func (g *Generator) injectOne(i int) {
-	cl := g.d.Clients[i]
-	srv := g.d.Servers[i]
-	size := g.cfg.Sizes.Sample(g.d.Sim.Rand())
+// Ticks schedules the canonical staggered injection loop — the ONE
+// definition of the workload's timing shape, shared with the sharded
+// generator (internal/shard) so sharded and single-instance runs inject
+// identically: each of n clients starts at a random offset within one
+// tick (no lockstep bursts) and converts its per-client rate into
+// integer bursts per tick with a fractional carry, preserving per-second
+// totals at any rate.
+func Ticks(s *sim.Simulator, n int, perClient float64, duration, tick time.Duration, inject func(client int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		offset := time.Duration(s.Rand().Int63n(int64(tick) + 1))
+		var carry float64
+		var fire func()
+		fire = func() {
+			if s.Now() >= duration {
+				return
+			}
+			carry += perClient * tick.Seconds()
+			burst := int(carry)
+			carry -= float64(burst)
+			for k := 0; k < burst; k++ {
+				inject(i)
+			}
+			s.After(tick, fire)
+		}
+		s.At(offset, fire)
+	}
+}
+
+// BuildElement draws one element of the canonical workload shape on the
+// given client — a log-normally sampled wire size, realized as a real
+// signed payload in full mode or a modeled-size element otherwise — and
+// stamps its injection time. Shared with the sharded generator for the
+// same reason as Ticks: element construction must not fork.
+func BuildElement(s *sim.Simulator, cl *core.Client, sizes SizeModel, fullPayloads bool) *wire.Element {
+	size := sizes.Sample(s.Rand())
 	var e *wire.Element
-	if g.cfg.FullPayloads {
+	if fullPayloads {
 		plen := size - wire.ElementHeaderSize - 64 // header + ed25519 signature
 		if plen < 1 {
 			plen = 1
 		}
 		payload := make([]byte, plen)
-		g.d.Sim.Rand().Read(payload)
+		s.Rand().Read(payload)
 		e = cl.NewElement(payload)
 	} else {
 		e = cl.NewModeledElement(size)
 	}
-	e.InjectedAt = int64(g.d.Sim.Now())
-	if err := srv.Add(e); err != nil {
+	e.InjectedAt = int64(s.Now())
+	return e
+}
+
+func (g *Generator) injectOne(i int) {
+	e := BuildElement(g.d.Sim, g.d.Clients[i], g.cfg.Sizes, g.cfg.FullPayloads)
+	if err := g.d.Servers[i].Add(e); err != nil {
 		g.rejected++
 		return
 	}
