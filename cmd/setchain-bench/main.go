@@ -251,6 +251,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "SAFETY: %d scenario(s) violated Setchain invariants (see output above)\n", v)
 		os.Exit(1)
 	}
+	// Soak cells declare a heap ceiling; exceeding it is an unbounded-memory
+	// regression and fails the run just like a safety violation.
+	if v := harness.HeapViolations(); v > 0 {
+		fmt.Fprintf(os.Stderr, "MEMORY: %d scenario(s) exceeded their declared heap ceiling (see output above)\n", v)
+		os.Exit(1)
+	}
 }
 
 // withFaults appends a -faults plan's events to every cell, on top of
@@ -361,11 +367,29 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			sharded = true
 		}
 	}
+	ckpt := false
+	heap := false
+	for _, c := range cells {
+		if c.CheckpointInterval > 0 {
+			ckpt = true
+		}
+		if c.HeapCeilingMB > 0 {
+			heap = true
+		}
+	}
 	headers := []string{"Scenario", "n", "Rate el/s", "Delay",
 		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic", "Safety"}
 	if sharded {
 		// n stays the per-shard group size; S is the shard count.
 		headers = append(headers, "S")
+	}
+	if ckpt {
+		// Seals are the observer's checkpoint count; syncs count servers
+		// that recovered via checkpoint state-sync instead of full replay.
+		headers = append(headers, "Ckpts", "Syncs")
+	}
+	if heap {
+		headers = append(headers, "Heap MiB")
 	}
 	if faulted {
 		headers = append(headers, "Faults")
@@ -403,6 +427,22 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 				s = 1
 			}
 			row = append(row, fmt.Sprintf("%d", s))
+		}
+		if ckpt {
+			row = append(row, fmt.Sprintf("%d", res.CheckpointSeals),
+				fmt.Sprintf("%d", res.SyncInstalls))
+		}
+		if heap {
+			h := "-"
+			if res.HeapLiveMB >= 0 {
+				h = fmt.Sprintf("%.0f/%d", res.HeapLiveMB, sc.HeapCeilingMB)
+				if res.HeapViolation {
+					h += " OVER"
+					fmt.Fprintf(os.Stderr, "HEAP CEILING EXCEEDED in %q: %.0f MiB live > %d MiB ceiling\n",
+						label, res.HeapLiveMB, sc.HeapCeilingMB)
+				}
+			}
+			row = append(row, h)
 		}
 		if faulted {
 			row = append(row, cells[i].Faults.Summary())

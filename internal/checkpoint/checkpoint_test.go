@@ -1,0 +1,96 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// The digest chain is pure arithmetic; these tests pin its algebra so a
+// refactor cannot silently change what sealed checkpoints commit to
+// (every persisted digest in a run artifact depends on these rules).
+
+func TestSeedAndMixRawMatchFNV1a(t *testing.T) {
+	if Seed() != uint64(14695981039346656037) {
+		t.Fatalf("Seed() = %d, not the FNV-1a offset basis", Seed())
+	}
+	if MixRaw(Seed(), nil) != Seed() {
+		t.Fatal("mixing zero bytes must be the identity")
+	}
+	// Reference value: FNV-1a of "a" (offset ^ 'a') * prime.
+	want := (Seed() ^ uint64('a')) * 1099511628211
+	if got := MixRaw(Seed(), []byte("a")); got != want {
+		t.Fatalf("MixRaw(Seed, \"a\") = %d, want %d", got, want)
+	}
+	// Byte-at-a-time chaining: mixing "ab" equals mixing "a" then "b".
+	ab := MixRaw(Seed(), []byte("ab"))
+	chained := MixRaw(MixRaw(Seed(), []byte("a")), []byte("b"))
+	if ab != chained {
+		t.Fatal("MixRaw is not byte-chainable")
+	}
+}
+
+func TestMix64IsFixedWidthLittleEndian(t *testing.T) {
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], 0xDEADBEEF)
+	if Mix64(Seed(), 0xDEADBEEF) != MixRaw(Seed(), w[:]) {
+		t.Fatal("Mix64 must equal MixRaw over the 8-byte little-endian encoding")
+	}
+	// Fixed width means 1 and 1<<40 occupy the same number of digest steps
+	// but produce different digests.
+	if Mix64(Seed(), 1) == Mix64(Seed(), 1<<40) {
+		t.Fatal("distinct words collided")
+	}
+}
+
+// The length prefix keeps concatenated fields unambiguous: ("ab","c") and
+// ("a","bc") concatenate identically but must digest differently.
+func TestMixBytesFramingIsUnambiguous(t *testing.T) {
+	d1 := MixBytes(MixBytes(Seed(), []byte("ab")), []byte("c"))
+	d2 := MixBytes(MixBytes(Seed(), []byte("a")), []byte("bc"))
+	if d1 == d2 {
+		t.Fatal("length framing failed: different splits digest equal")
+	}
+}
+
+func TestChainEpochSensitivity(t *testing.T) {
+	hash := []byte{1, 2, 3, 4}
+	base := ChainEpoch(Seed(), 1, hash)
+	if base == ChainEpoch(Seed(), 2, hash) {
+		t.Fatal("epoch number not committed")
+	}
+	other := []byte{1, 2, 3, 5}
+	if base == ChainEpoch(Seed(), 1, other) {
+		t.Fatal("epoch hash not committed")
+	}
+	// Order matters: folding (1,h1) then (2,h2) differs from the swap.
+	h1, h2 := []byte{0xAA}, []byte{0xBB}
+	fwd := ChainEpoch(ChainEpoch(Seed(), 1, h1), 2, h2)
+	rev := ChainEpoch(ChainEpoch(Seed(), 1, h2), 2, h1)
+	if fwd == rev {
+		t.Fatal("chain is order-insensitive")
+	}
+	// Determinism: same inputs, same digest.
+	if fwd != ChainEpoch(ChainEpoch(Seed(), 1, h1), 2, h2) {
+		t.Fatal("chain is not deterministic")
+	}
+}
+
+// Same is the cross-server identity: content fields compared, the
+// advisory seal Height ignored (it may trail by a block under faults).
+func TestSameIgnoresHeightOnly(t *testing.T) {
+	ck := Checkpoint{Epoch: 8, Height: 100, Elements: 2048, Digest: 0xFEED}
+	skewed := ck
+	skewed.Height = 101
+	if !ck.Same(skewed) {
+		t.Fatal("Same must ignore the seal height")
+	}
+	for name, mut := range map[string]Checkpoint{
+		"epoch":    {Epoch: 9, Height: 100, Elements: 2048, Digest: 0xFEED},
+		"elements": {Epoch: 8, Height: 100, Elements: 2049, Digest: 0xFEED},
+		"digest":   {Epoch: 8, Height: 100, Elements: 2048, Digest: 0xBEEF},
+	} {
+		if ck.Same(mut) {
+			t.Fatalf("Same ignored a %s mismatch", name)
+		}
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/abci"
+	"repro/internal/checkpoint"
 	"repro/internal/mempool"
 	"repro/internal/netsim"
 	"repro/internal/setcrypto"
@@ -103,6 +104,27 @@ type BlockRequest struct {
 type BlockResponse struct {
 	Proposal *Proposal
 	Commit   []*Vote
+}
+
+// SyncResponse answers a deep catch-up BlockRequest the peer can no longer
+// serve block-by-block (the height is below its prune horizon, or outside
+// its decided-proposal window): the peer's latest checkpoint snapshot. The
+// requester verifies and installs it (StateSyncer.InstallSync), jumps to
+// the checkpoint's height, and replays only the block suffix.
+type SyncResponse struct {
+	Snapshot *checkpoint.Snapshot
+}
+
+// StateSyncer is the application side of checkpoint state-sync: the
+// replicated application (core.Server) serves its latest sealed snapshot
+// and installs a verified peer snapshot. Both directions are wired by the
+// ledger node at construction; a nil syncer disables state-sync.
+type StateSyncer interface {
+	// SyncSnapshot returns the latest sealed checkpoint snapshot, if any.
+	SyncSnapshot() (*checkpoint.Snapshot, bool)
+	// InstallSync verifies a peer snapshot against local state and adopts
+	// it, returning false (state untouched) when stale or inconsistent.
+	InstallSync(snap *checkpoint.Snapshot) bool
 }
 
 // voteWireSize approximates a consensus vote's bytes on the wire.
@@ -269,13 +291,25 @@ type Node struct {
 	lockedValue    string
 	lockedProposal *Proposal
 
-	chain []*wire.Block
+	// chain holds committed blocks for heights chainBase+1..chainBase+len;
+	// blocks at or below chainBase were pruned under a checkpoint horizon
+	// (SetRetainHorizon) or skipped by a state-sync install, and are
+	// covered by the application's checkpoint digests instead. chainBase
+	// is 0 until either happens, so chain[h-1] is height h as it always
+	// was.
+	chain     []*wire.Block
+	chainBase uint64
 	// decidedProps/decidedCommits retain the proposals and precommit
 	// certificates of recently committed heights so lagging peers can
 	// catch up after this node advanced.
 	decidedProps   map[uint64]*Proposal
 	decidedCommits map[uint64][]*Vote
 	decided        bool // current height decided, waiting for next-height start
+
+	// syncer is the application's checkpoint state-sync hook (nil = no
+	// state-sync; deep catch-up then only works within the decided window).
+	syncer       StateSyncer
+	syncInstalls uint64
 
 	// Deep catch-up state: the highest height observed in buffered future
 	// messages and whether a certified-block request is in flight.
@@ -338,6 +372,31 @@ func (n *Node) SetProposalMutator(m ProposalMutator) { n.mutator = m }
 // SetCommitListener installs a block-commit observer.
 func (n *Node) SetCommitListener(l CommitListener) { n.onCommit = l }
 
+// SetStateSyncer installs the application's checkpoint state-sync hook.
+func (n *Node) SetStateSyncer(s StateSyncer) { n.syncer = s }
+
+// SetRetainHorizon prunes committed blocks and decided
+// proposals/certificates at or below the given height (the latest
+// checkpoint's seal height): lagging peers below the horizon recover via
+// state-sync snapshots instead of block replay. Monotone; lower horizons
+// are no-ops.
+func (n *Node) SetRetainHorizon(h uint64) {
+	if h <= n.chainBase {
+		return
+	}
+	drop := h - n.chainBase
+	if drop > uint64(len(n.chain)) {
+		drop = uint64(len(n.chain))
+	}
+	// Fresh backing array so the pruned prefix's blocks are collectable.
+	n.chain = append([]*wire.Block(nil), n.chain[drop:]...)
+	for ht := n.chainBase + 1; ht <= h; ht++ {
+		delete(n.decidedProps, ht)
+		delete(n.decidedCommits, ht)
+	}
+	n.chainBase = h
+}
+
 // Params returns the node's effective (defaulted) parameters.
 func (n *Node) Params() Params { return n.params }
 
@@ -350,8 +409,20 @@ func (n *Node) Quorum() int {
 // Height returns the height currently being decided.
 func (n *Node) Height() uint64 { return n.height }
 
-// Chain returns the committed blocks in order.
+// Chain returns the retained committed blocks in order: heights
+// ChainBase()+1 onward (all heights from 1 when nothing was pruned).
 func (n *Node) Chain() []*wire.Block { return n.chain }
+
+// ChainBase returns the height below which committed blocks were pruned
+// (or skipped by state-sync); 0 means the chain is complete from height 1.
+func (n *Node) ChainBase() uint64 { return n.chainBase }
+
+// HeightCommitted returns the number of heights this node has committed or
+// adopted via checkpoint install (ChainBase + retained blocks).
+func (n *Node) HeightCommitted() uint64 { return n.chainBase + uint64(len(n.chain)) }
+
+// SyncInstalls returns how many checkpoint snapshots this node installed.
+func (n *Node) SyncInstalls() uint64 { return n.syncInstalls }
 
 // RoundsUsed returns the cumulative number of extra rounds consumed (0 when
 // every height decides in round 0).
@@ -617,6 +688,8 @@ func (n *Node) Receive(from wire.NodeID, payload any) {
 		if msg.Proposal != nil {
 			n.handleProposal(msg.Proposal)
 		}
+	case *SyncResponse:
+		n.handleSyncResponse(msg)
 	}
 }
 
@@ -874,6 +947,52 @@ func (n *Node) handleBlockRequest(from wire.NodeID, req *BlockRequest) {
 			return
 		}
 	}
+	// Deep catch-up for a height we can no longer serve block-by-block
+	// (pruned under the checkpoint horizon, or outside the decided window):
+	// answer with the latest checkpoint snapshot if it would actually move
+	// the requester forward.
+	if req.BlockID == "" && n.syncer != nil {
+		if snap, ok := n.syncer.SyncSnapshot(); ok && snap.Last.Height >= req.Height {
+			n.net.Send(n.id, from, &SyncResponse{Snapshot: snap}, snap.Bytes)
+		}
+	}
+}
+
+// handleSyncResponse verifies and installs a checkpoint snapshot, then
+// resumes consensus at the height after the checkpoint: the suffix above
+// the seal height replays through the normal catch-up path. The
+// application does the verification (InstallSync); a stale or inconsistent
+// snapshot leaves all state untouched and the 2 s catch-up retry keeps
+// probing.
+func (n *Node) handleSyncResponse(resp *SyncResponse) {
+	snap := resp.Snapshot
+	if snap == nil || n.syncer == nil || n.stopped {
+		return
+	}
+	if snap.Last.Height < n.height {
+		return // would not advance us; keep block-by-block catch-up
+	}
+	if !n.syncer.InstallSync(snap) {
+		return
+	}
+	n.syncInstalls++
+	h := snap.Last.Height
+	// Heights through h are now covered by the installed checkpoint state;
+	// retained blocks below it are superseded.
+	n.chain = nil
+	n.chainBase = h
+	n.height = h + 1
+	n.proposals = make(map[int32]*Proposal)
+	n.votes = make(map[int32]*roundVotes)
+	n.lockedID = nilBlockID
+	n.lockedRound = -1
+	n.lockedValue = nilBlockID
+	n.lockedProposal = nil
+	n.round = 0
+	n.step = StepPropose
+	n.decided = false
+	n.catchupPending = false
+	n.enterHeight(n.height)
 }
 
 func (n *Node) commit(p *Proposal) {
@@ -885,7 +1004,7 @@ func (n *Node) commit(p *Proposal) {
 	if len(block.Txs) == 0 {
 		n.emptyBlocks++
 	}
-	n.pool.RemoveCommitted(block.Txs)
+	n.pool.RemoveCommitted(p.Height, block.Txs)
 	if n.onCommit != nil {
 		n.onCommit(n.id, block)
 	}

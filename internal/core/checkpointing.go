@@ -1,0 +1,352 @@
+package core
+
+import (
+	"bytes"
+	"sort"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/wire"
+)
+
+// This file is the server half of the epoch-checkpoint subsystem
+// (internal/checkpoint; DESIGN.md §11): sealing a checkpoint every K
+// settled epochs, pruning settled state below the horizon, and serving /
+// installing state-sync snapshots so a restarted node recovers from the
+// latest checkpoint plus a block suffix instead of replaying the whole
+// chain.
+//
+// Determinism argument, in one place: an epoch settles when its f+1-th
+// valid proof is processed, proofs travel only inside committed blocks,
+// and block processing is strictly ordered — so every correct server
+// seals checkpoints with identical content (epoch, cumulative elements,
+// digest). That agreement is what the invariant checker verifies in place
+// of the pruned epochs. The seal Height is NOT part of the agreement: a
+// proof rides in a batch, and a server whose fetch of that batch failed
+// (crashed signer) extracts its proofs a block later than peers that held
+// the batch locally, so heights may trail by a block under faults —
+// cross-server comparisons use checkpoint.Same, which ignores Height.
+
+// Modeled wire sizes for the state-sync snapshot: a real transfer ships
+// the set's elements plus per-epoch and per-proof framing.
+const (
+	proofWireSize     = 139 // same envelope class as a signed hash-batch
+	epochFrameSize    = 80  // number + hash + element-count framing
+	checkpointBinSize = 32  // four 64-bit words
+)
+
+// maybeSeal seals every checkpoint interval the settled prefix has
+// crossed. Called only at block-processing boundaries (processNext), so a
+// frozen snapshot always reflects COMPLETE processing of blocks
+// 1..curHeight and a state-syncing peer can replay from curHeight+1
+// without a gap.
+func (s *Server) maybeSeal() {
+	k := uint64(s.opts.CheckpointInterval)
+	if k == 0 {
+		return
+	}
+	for s.settled >= s.lastCheckpointEpoch()+k {
+		s.seal(s.lastCheckpointEpoch() + k)
+	}
+}
+
+func (s *Server) lastCheckpointEpoch() uint64 {
+	if len(s.checkpoints) == 0 {
+		return 0
+	}
+	return s.checkpoints[len(s.checkpoints)-1].Epoch
+}
+
+// seal creates the checkpoint covering epochs 1..target, extending the
+// previous checkpoint's digest chain over the newly settled range, then
+// freezes the state-sync snapshot and (when enabled) prunes below the
+// horizon.
+func (s *Server) seal(target uint64) {
+	prev := checkpoint.Checkpoint{Digest: checkpoint.Seed()}
+	if len(s.checkpoints) > 0 {
+		prev = s.checkpoints[len(s.checkpoints)-1]
+	}
+	d, elems, bytes := prev.Digest, prev.Elements, s.ckptBytes
+	for e := prev.Epoch + 1; e <= target; e++ {
+		ep := s.history[e-1-s.prunedEpochs]
+		d = checkpoint.ChainEpoch(d, ep.Number, ep.Hash)
+		elems += uint64(len(ep.Elements))
+		for _, el := range ep.Elements {
+			bytes += uint64(el.Size)
+		}
+	}
+	ck := checkpoint.Checkpoint{Epoch: target, Height: s.curHeight, Elements: elems, Digest: d}
+	s.checkpoints = append(s.checkpoints, ck)
+	s.ckptBytes = bytes
+	s.chargeCPU(time.Duration(target-prev.Epoch) * s.opts.Costs.PerBatch / 8)
+	s.freezeSyncState(ck)
+	if s.rec != nil {
+		s.rec.CheckpointSealed(s.id, ck, s.opts.Prune)
+	}
+	if s.opts.Prune {
+		s.prune(ck)
+	}
+}
+
+// prune drops settled state at or below the checkpoint horizon: the
+// server's epoch slices and proof maps, the ledger node's per-height
+// blocks and commit certificates, and the mempool's committed-key
+// tombstones. the_set and the id→epoch membership index stay — they ARE
+// the replicated set and the exactly-once filter; what pruning removes is
+// the per-epoch and per-block history that only re-proves the past.
+func (s *Server) prune(ck checkpoint.Checkpoint) {
+	drop := ck.Epoch - s.prunedEpochs
+	if drop == 0 {
+		return
+	}
+	for e := s.prunedEpochs + 1; e <= ck.Epoch; e++ {
+		delete(s.proofs, e)
+	}
+	// Copy the tail so the pruned prefix's backing array is released.
+	s.history = append([]*Epoch(nil), s.history[drop:]...)
+	s.prunedEpochs = ck.Epoch
+	s.prunedElements = ck.Elements
+	s.node.Checkpointed(ck.Height)
+}
+
+// SyncState is the application half of a state-sync snapshot: the
+// Setchain state needed on top of the checkpoint chain to resume from the
+// seal height. Epochs and Proofs are frozen copies taken at seal time;
+// Members and Set are the serving server's live maps — epoch assignment
+// is immutable and monotone, so filtering Members by epoch <= LastEpoch
+// reconstructs the exact seal-time membership no matter when the snapshot
+// is installed.
+type SyncState struct {
+	// Epochs are the created epochs above the checkpoint as of the seal
+	// height, ascending by number.
+	Epochs []*Epoch
+	// Proofs are the proof-signer sets for epochs above the checkpoint as
+	// of the seal height.
+	Proofs map[uint64]map[wire.NodeID]*wire.EpochProof
+	// LastEpoch is the highest created epoch at seal time (the checkpoint
+	// epoch when Epochs is empty).
+	LastEpoch uint64
+	// Members is the serving server's live id→epoch index; only entries
+	// with epoch <= LastEpoch belong to the snapshot.
+	Members map[wire.ElementID]uint64
+	// Set is the serving server's live the_set, keyed consistently with
+	// Members.
+	Set map[wire.ElementID]*wire.Element
+	// PendingSigners carries Hashchain's ledger signer sets for batches
+	// not yet consolidated at seal time: their remaining signatures arrive
+	// in the replayed suffix and must count on top of these. Sorted per
+	// batch for determinism; nil for other algorithms.
+	PendingSigners map[wire.Digest][]wire.NodeID
+	// CkptBytes is the serving server's modeled element-byte total through
+	// the checkpoint, so the installer's next seal sizes its own snapshot
+	// consistently.
+	CkptBytes uint64
+}
+
+// freezeSyncState captures the snapshot served for state-sync requests
+// targeting heights at or below this checkpoint.
+func (s *Server) freezeSyncState(ck checkpoint.Checkpoint) {
+	created := s.prunedEpochs + uint64(len(s.history))
+	st := &SyncState{
+		LastEpoch: created,
+		Members:   s.inHistory,
+		Set:       s.theSet,
+		Proofs:    make(map[uint64]map[wire.NodeID]*wire.EpochProof),
+		CkptBytes: s.ckptBytes,
+	}
+	size := int(s.ckptBytes) + len(s.checkpoints)*checkpointBinSize
+	for e := ck.Epoch + 1; e <= created; e++ {
+		ep := s.history[e-1-s.prunedEpochs]
+		st.Epochs = append(st.Epochs, ep)
+		size += epochFrameSize
+		for _, el := range ep.Elements {
+			size += el.Size
+		}
+		if by := s.proofs[e]; len(by) > 0 {
+			cp := make(map[wire.NodeID]*wire.EpochProof, len(by))
+			for id, p := range by {
+				cp[id] = p
+			}
+			st.Proofs[e] = cp
+			size += len(by) * proofWireSize
+		}
+	}
+	if h, ok := s.alg.(*hashchainAlg); ok {
+		st.PendingSigners = h.pendingSigners()
+		for _, ids := range st.PendingSigners {
+			size += len(ids) * proofWireSize
+		}
+	}
+	s.syncState = &checkpoint.Snapshot{
+		Last:  ck,
+		Chain: append([]checkpoint.Checkpoint(nil), s.checkpoints...),
+		State: st,
+		Bytes: size,
+	}
+}
+
+// SyncSnapshot implements consensus.StateSyncer: the latest frozen
+// snapshot, served to peers requesting heights below the checkpoint
+// horizon.
+func (s *Server) SyncSnapshot() (*checkpoint.Snapshot, bool) {
+	return s.syncState, s.syncState != nil
+}
+
+// InstallSync implements consensus.StateSyncer: adopt a peer's checkpoint
+// snapshot as this server's state. The snapshot is verified against
+// everything locally known — the local checkpoint chain must be a prefix
+// of the snapshot's, chain digests covering locally retained epochs must
+// recompute, the snapshot's suffix epochs must hash correctly and agree
+// with any local epochs of the same number. (A Byzantine peer could still
+// forge state beyond local knowledge; a production system closes that by
+// binding the checkpoint digest into the certified block headers —
+// DESIGN.md §11 — and the end-of-run invariant checker cross-validates
+// every install here.) Returns false, leaving state untouched, when the
+// snapshot is stale or inconsistent.
+func (s *Server) InstallSync(snap *checkpoint.Snapshot) bool {
+	st, ok := snap.State.(*SyncState)
+	if !ok || st == nil {
+		return false
+	}
+	ck := snap.Last
+	total := s.prunedEpochs + uint64(len(s.history))
+	if len(snap.Chain) == 0 || snap.Chain[len(snap.Chain)-1] != ck {
+		return false
+	}
+	if st.LastEpoch < total || ck.Epoch+uint64(len(st.Epochs)) != st.LastEpoch {
+		return false // snapshot older than local state, or malformed
+	}
+	for i, mine := range s.checkpoints {
+		// Content prefix (Same): the peer's seal heights may differ from
+		// ours by a block (see package checkpoint), which is not divergence.
+		if i >= len(snap.Chain) || !snap.Chain[i].Same(mine) {
+			return false
+		}
+	}
+	// Recompute chain digests over locally retained epochs: every chain
+	// entry whose covered range (prev, entry] lies within local history
+	// must match what the local epochs hash to.
+	prev := checkpoint.Checkpoint{Digest: checkpoint.Seed()}
+	for _, entry := range snap.Chain {
+		if entry.Epoch > total {
+			break
+		}
+		if prev.Epoch >= s.prunedEpochs {
+			d, elems := prev.Digest, prev.Elements
+			for e := prev.Epoch + 1; e <= entry.Epoch; e++ {
+				ep := s.history[e-1-s.prunedEpochs]
+				d = checkpoint.ChainEpoch(d, ep.Number, ep.Hash)
+				elems += uint64(len(ep.Elements))
+			}
+			if d != entry.Digest || elems != entry.Elements {
+				return false
+			}
+		}
+		prev = entry
+	}
+	// Verify the suffix epochs: contiguous numbering, recomputable hashes,
+	// and agreement with local epochs of the same number.
+	num := ck.Epoch
+	var cost time.Duration
+	for _, ep := range st.Epochs {
+		num++
+		if ep.Number != num || !bytes.Equal(ep.Hash, s.epochHashFor(ep.Number, ep.Elements)) {
+			return false
+		}
+		if num > s.prunedEpochs && num <= total {
+			if !bytes.Equal(s.history[num-1-s.prunedEpochs].Hash, ep.Hash) {
+				return false
+			}
+		}
+		cost += time.Duration(len(ep.Elements)) * s.opts.Costs.PerElement
+	}
+	s.chargeCPU(cost)
+
+	// Adopt: checkpoint chain, suffix history, membership through
+	// LastEpoch, proof state as of the seal height.
+	s.checkpoints = append([]checkpoint.Checkpoint(nil), snap.Chain...)
+	s.prunedEpochs = ck.Epoch
+	s.prunedElements = ck.Elements
+	s.ckptBytes = st.CkptBytes
+	s.history = append([]*Epoch(nil), st.Epochs...)
+	for id, epn := range st.Members {
+		if epn > st.LastEpoch {
+			continue
+		}
+		if _, in := s.inHistory[id]; !in {
+			s.inHistory[id] = epn
+			if _, ok := s.theSet[id]; !ok {
+				if el := st.Set[id]; el != nil {
+					s.theSet[id] = el
+				}
+			}
+		}
+	}
+	s.proofs = make(map[uint64]map[wire.NodeID]*wire.EpochProof, len(st.Proofs))
+	for e, by := range st.Proofs {
+		cp := make(map[wire.NodeID]*wire.EpochProof, len(by))
+		for id, p := range by {
+			cp[id] = p
+		}
+		s.proofs[e] = cp
+	}
+	s.settled = ck.Epoch
+	for len(s.proofs[s.settled+1]) >= s.opts.F+1 {
+		s.settled++
+	}
+	if h, ok := s.alg.(*hashchainAlg); ok {
+		h.installPending(st.PendingSigners)
+	}
+	// Queued blocks predate the checkpoint and are fully covered by the
+	// installed state; the replayed suffix arrives through consensus.
+	s.blockQueue = nil
+	s.syncInstalls++
+	if s.opts.Prune {
+		s.node.Checkpointed(ck.Height)
+	}
+	return true
+}
+
+// pendingSigners snapshots Hashchain's per-batch ledger signer sets for
+// unconsolidated batches, each sorted for deterministic installs.
+func (h *hashchainAlg) pendingSigners() map[wire.Digest][]wire.NodeID {
+	out := make(map[wire.Digest][]wire.NodeID, len(h.signers))
+	for key, set := range h.signers {
+		ids := make([]wire.NodeID, 0, len(set))
+		for id := range set {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		out[key] = ids
+	}
+	return out
+}
+
+// installPending replaces the signer state with a snapshot's pending
+// sets: signatures in blocks at or below the seal height are invisible to
+// the installing node, so the suffix replay must count on top of these.
+// Own-signature memory is rebuilt from the sets to avoid double-signing.
+func (h *hashchainAlg) installPending(pending map[wire.Digest][]wire.NodeID) {
+	h.signers = make(map[wire.Digest]map[wire.NodeID]bool, len(pending))
+	for key, ids := range pending {
+		set := make(map[wire.NodeID]bool, len(ids))
+		for _, id := range ids {
+			set[id] = true
+			if id == h.s.id {
+				h.signedOwn[key] = true
+			}
+		}
+		h.signers[key] = set
+	}
+}
+
+// Checkpoints returns the sealed checkpoint chain (read-only).
+func (s *Server) Checkpoints() []checkpoint.Checkpoint { return s.checkpoints }
+
+// Settled returns the settled-prefix watermark: epochs 1..Settled have
+// f+1 proofs locally.
+func (s *Server) Settled() uint64 { return s.settled }
+
+// SyncInstalls returns how many checkpoint snapshots this server has
+// installed (state-sync recoveries).
+func (s *Server) SyncInstalls() uint64 { return s.syncInstalls }

@@ -195,16 +195,18 @@ func (h *hashchainAlg) processTx(txs []*wire.Tx, i int, done func()) {
 			return
 		}
 		key := wire.DigestOf(hb.Hash)
+		if h.consolidated[key] {
+			// Signer counting stops at consolidation: the set was released
+			// (maybeConsolidate) and late signatures change nothing.
+			next()
+			return
+		}
 		set := h.signers[key]
 		if set == nil {
 			set = make(map[wire.NodeID]bool)
 			h.signers[key] = set
 		}
 		set[hb.Signer] = true
-		if h.consolidated[key] {
-			next()
-			return
-		}
 		if s.opts.Light {
 			h.lightProcess(hb, key, next)
 			return
@@ -373,6 +375,10 @@ func (h *hashchainAlg) maybeConsolidate(key wire.Digest) {
 		return
 	}
 	h.consolidated[key] = true
+	// Release the signer set: consolidation position is fixed, and keeping
+	// only unconsolidated sets is what lets state-sync ship exactly the
+	// pending signatures (pendingSigners in checkpointing.go).
+	delete(h.signers, key)
 	g := make([]*wire.Element, 0, len(h.validElems[key]))
 	for _, e := range h.validElems[key] {
 		if _, in := s.inHistory[e.ID]; !in {

@@ -145,6 +145,17 @@ type Options struct {
 	// F is the Setchain fault bound (max Byzantine servers, f < n/2);
 	// commit and consolidation both use f+1. Defaults to (n-1)/2.
 	F int
+	// CheckpointInterval seals a digest checkpoint every this many settled
+	// epochs (internal/checkpoint); 0 disables checkpointing. All servers
+	// of one instance must agree on the interval — seal points are part of
+	// the replicated state machine.
+	CheckpointInterval int
+	// Prune drops settled state below each new checkpoint: server epoch
+	// history, the ledger's per-height blocks and commit certificates, and
+	// mempool tombstones. Requires CheckpointInterval > 0. The set itself
+	// (the_set and the id→epoch membership index) is never pruned — it is
+	// the data structure Setchain replicates.
+	Prune bool
 }
 
 func (o Options) withDefaults(n int) Options {

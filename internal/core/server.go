@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/batchstore"
+	"repro/internal/checkpoint"
 	"repro/internal/collector"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
@@ -38,6 +39,16 @@ type Snapshot struct {
 	History []*Epoch
 	Epoch   uint64
 	Proofs  map[uint64]map[wire.NodeID]*wire.EpochProof
+	// PrunedEpochs is the settled prefix dropped below the checkpoint
+	// horizon: History[0] is epoch PrunedEpochs+1 and Epoch counts the
+	// pruned prefix too. Zero when pruning never ran.
+	PrunedEpochs uint64
+	// PrunedElements is the element count of the pruned prefix — equal to
+	// the latest checkpoint's cumulative Elements.
+	PrunedElements uint64
+	// Checkpoints is the server's sealed checkpoint chain, ascending
+	// (empty when checkpointing is off).
+	Checkpoints []checkpoint.Checkpoint
 }
 
 // algorithm is the per-variant behavior behind the shared server machinery.
@@ -72,6 +83,20 @@ type Server struct {
 	history   []*Epoch
 	inHistory map[wire.ElementID]uint64
 	proofs    map[uint64]map[wire.NodeID]*wire.EpochProof
+
+	// Checkpointing state (checkpointing.go). history is base-offset:
+	// history[i] is epoch prunedEpochs+i+1; epochs at or below
+	// prunedEpochs live only in the checkpoint digests. settled is the
+	// contiguous prefix with f+1 proofs; curHeight the block being
+	// processed (seal heights are part of the replicated state).
+	settled        uint64
+	checkpoints    []checkpoint.Checkpoint
+	prunedEpochs   uint64
+	prunedElements uint64
+	ckptBytes      uint64 // modeled element bytes in epochs 1..last checkpoint
+	curHeight      uint64
+	syncState      *checkpoint.Snapshot
+	syncInstalls   uint64
 
 	alg      algorithm
 	coll     *collector.Collector
@@ -171,11 +196,14 @@ func (s *Server) Add(e *wire.Element) error {
 // Get implements S.get_v(): the current (the_set, history, epoch, proofs).
 func (s *Server) Get() Snapshot {
 	return Snapshot{
-		Server:  s.id,
-		TheSet:  s.theSet,
-		History: s.history,
-		Epoch:   uint64(len(s.history)),
-		Proofs:  s.proofs,
+		Server:         s.id,
+		TheSet:         s.theSet,
+		History:        s.history,
+		Epoch:          s.prunedEpochs + uint64(len(s.history)),
+		Proofs:         s.proofs,
+		PrunedEpochs:   s.prunedEpochs,
+		PrunedElements: s.prunedElements,
+		Checkpoints:    s.checkpoints,
 	}
 }
 
@@ -231,6 +259,14 @@ func (s *Server) FinalizeBlock(b *wire.Block) {
 }
 
 func (s *Server) processNext() {
+	// Seal at the block boundary, never mid-block: the settled watermark
+	// may have advanced while the just-finished block's txs were processed,
+	// but a snapshot frozen mid-block would miss the block's remaining txs
+	// — a restarted peer installs the snapshot and replays from Height+1,
+	// so proofs and signatures in the tail of the seal block would be lost
+	// to it forever (its settled prefix would stall). Sealing here makes
+	// "state as of the seal height" exact.
+	s.maybeSeal()
 	if len(s.blockQueue) == 0 {
 		s.processing = false
 		return
@@ -238,6 +274,10 @@ func (s *Server) processNext() {
 	s.processing = true
 	b := s.blockQueue[0]
 	s.blockQueue = s.blockQueue[1:]
+	// Blocks are processed strictly in order, so every state change during
+	// this block's (possibly asynchronous) processing — including a
+	// checkpoint seal — happens at this height on every correct server.
+	s.curHeight = b.Height
 	s.alg.processBlock(b, s.processNext)
 }
 
@@ -293,7 +333,7 @@ func (s *Server) epochHashFor(number uint64, elems []*wire.Element) []byte {
 // (already deduplicated against history by the caller) and returns its
 // epoch-proof, signed by this server. Elements keep their given order.
 func (s *Server) createEpoch(g []*wire.Element) *wire.EpochProof {
-	number := uint64(len(s.history)) + 1
+	number := s.prunedEpochs + uint64(len(s.history)) + 1
 	hash := s.epochHashFor(number, g)
 	ep := &Epoch{Number: number, Elements: g, Hash: hash}
 	s.history = append(s.history, ep)
@@ -327,10 +367,16 @@ func (s *Server) createEpoch(g []*wire.Element) *wire.EpochProof {
 // acceptProof implements valid_proof(j, p, w, history[j]) and records the
 // proof. Returns whether the proof was valid and new.
 func (s *Server) acceptProof(p *wire.EpochProof) bool {
-	if p == nil || p.Epoch < 1 || p.Epoch > uint64(len(s.history)) {
+	if p == nil || p.Epoch <= s.prunedEpochs {
+		// At or below the checkpoint horizon the epoch is settled and its
+		// proofs are folded into the checkpoint digest; late copies carry
+		// no information.
 		return false
 	}
-	want := s.history[p.Epoch-1].Hash
+	if p.Epoch > s.prunedEpochs+uint64(len(s.history)) {
+		return false
+	}
+	want := s.history[p.Epoch-1-s.prunedEpochs].Hash
 	s.chargeCPU(s.opts.Costs.VerifySig)
 	if !wire.VerifyEpochProof(s.suite, s.registry, p, want) {
 		return false
@@ -346,6 +392,12 @@ func (s *Server) acceptProof(p *wire.EpochProof) bool {
 	bySigner[p.Signer] = p
 	if s.rec != nil {
 		s.rec.ProofOnLedger(s.id, p.Epoch, p.Signer)
+	}
+	// Advance the settled prefix; any checkpoint interval it crossed is
+	// sealed at the end of the current block (processNext), never here —
+	// a mid-block seal would freeze a snapshot that cuts the block in two.
+	for len(s.proofs[s.settled+1]) >= s.opts.F+1 {
+		s.settled++
 	}
 	return true
 }

@@ -46,17 +46,20 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		return Scenario{}, err
 	}
 	sc := Scenario{
-		Name:         sp.Name,
-		Spec:         AlgSpec{Alg: alg, Collector: sp.Collector, Light: sp.Light},
-		Servers:      sp.Servers,
-		Shards:       sp.Shards,
-		Rate:         sp.Rate,
-		SendFor:      sp.SendFor.Std(),
-		Horizon:      sp.Horizon.Std(),
-		NetworkDelay: sp.NetworkDelay.Std(),
-		Bandwidth:    sp.Bandwidth,
-		Seed:         sp.Seed,
-		Scale:        sp.Scale,
+		Name:               sp.Name,
+		Spec:               AlgSpec{Alg: alg, Collector: sp.Collector, Light: sp.Light},
+		Servers:            sp.Servers,
+		Shards:             sp.Shards,
+		Rate:               sp.Rate,
+		SendFor:            sp.SendFor.Std(),
+		Horizon:            sp.Horizon.Std(),
+		NetworkDelay:       sp.NetworkDelay.Std(),
+		Bandwidth:          sp.Bandwidth,
+		Seed:               sp.Seed,
+		Scale:              sp.Scale,
+		CheckpointInterval: sp.CheckpointInterval,
+		Prune:              sp.Prune,
+		HeapCeilingMB:      sp.HeapCeilingMB,
 	}
 	if sp.Metrics == spec.MetricsStages {
 		sc.Level = metrics.LevelStages

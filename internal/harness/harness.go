@@ -118,6 +118,20 @@ type Scenario struct {
 	// partitions, link loss) as simulator events; the zero Plan is
 	// fault-free. Usually built from a spec.FaultSpec by FromSpec.
 	Faults faults.Plan
+	// CheckpointInterval seals a pruning checkpoint on every server each
+	// time this many further epochs settle (core.Options.CheckpointInterval;
+	// DESIGN.md §11). 0 disables checkpointing entirely.
+	CheckpointInterval int
+	// Prune drops settled history, ledger blocks and mempool tombstones
+	// below each sealed checkpoint (core.Options.Prune); restarted servers
+	// then recover via checkpoint state-sync instead of full replay.
+	Prune bool
+	// HeapCeilingMB asserts the process's live heap at the end of the run
+	// stays at or under this many MiB (the soak family's bounded-memory
+	// check); 0 skips the measurement. The measurement is process-wide, so
+	// concurrently-running cells share one heap — soak cells are meant to
+	// run alone or treat the combined figure as the (sound) upper bound.
+	HeapCeilingMB int
 }
 
 // ByzantineCfg configures faulty servers for a scenario. The zero value
@@ -180,7 +194,8 @@ type Result struct {
 	Analytical float64
 	// Recorder allows stage-latency queries when Level = LevelStages.
 	Recorder *metrics.Recorder
-	// Blocks is the ledger height reached; Events the simulator events.
+	// Blocks is the ledger height reached (base + retained blocks, so
+	// checkpoint pruning does not shrink it); Events the simulator events.
 	Blocks int
 	Events uint64
 	// Invariant is the end-of-run safety verdict: nil when every Setchain
@@ -200,6 +215,21 @@ type Result struct {
 	// "same seed ⇒ same superepoch sequence" pins. Nil for single-instance
 	// runs.
 	SuperDigests []uint64
+	// CheckpointSeals counts pruning checkpoints the observer(s) sealed
+	// (summed across shards in a sharded run); 0 when checkpointing is off.
+	CheckpointSeals uint64
+	// SyncInstalls counts checkpoint state-sync installs across every
+	// server of the deployment: each is a restarted or lagging node that
+	// recovered from a peer's checkpoint snapshot instead of replaying the
+	// full chain.
+	SyncInstalls uint64
+	// HeapLiveMB is the process's live heap in MiB after a forced GC at
+	// the end of the run (deployment still reachable), measured only when
+	// the scenario sets HeapCeilingMB; -1 otherwise. HeapViolation is true
+	// when it exceeded the ceiling (also counted process-wide by
+	// HeapViolations).
+	HeapLiveMB    float64
+	HeapViolation bool
 }
 
 // deployConfig derives the server options and ledger config a defaulted
@@ -214,12 +244,14 @@ func deployConfig(sc Scenario) (core.Options, ledger.Config) {
 		netCfg.Bandwidth = sc.Bandwidth
 	}
 	opts := core.Options{
-		Algorithm:      sc.Spec.Alg,
-		Mode:           sc.Mode,
-		Light:          sc.Spec.Light,
-		CollectorLimit: sc.Spec.Collector,
-		Costs:          core.PaperCostModel(),
-		F:              (sc.Servers - 1) / 2,
+		Algorithm:          sc.Spec.Alg,
+		Mode:               sc.Mode,
+		Light:              sc.Spec.Light,
+		CollectorLimit:     sc.Spec.Collector,
+		Costs:              core.PaperCostModel(),
+		F:                  (sc.Servers - 1) / 2,
+		CheckpointInterval: sc.CheckpointInterval,
+		Prune:              sc.Prune,
 	}
 	lcfg := ledger.Config{
 		Net:       netCfg,
@@ -284,7 +316,7 @@ func runScenario(sc Scenario) *Result {
 		Series:     rec.ThroughputSeries(9 * time.Second),
 		CommitFrac: make(map[int]time.Duration),
 		Analytical: sc.Spec.AnalyticalThroughput(n),
-		Blocks:     len(d.Ledger.Nodes[0].Cons.Chain()),
+		Blocks:     int(d.Ledger.Nodes[0].Cons.HeightCommitted()),
 		Events:     s.Executed(),
 		Recorder:   rec,
 	}
@@ -294,6 +326,10 @@ func runScenario(sc Scenario) *Result {
 			res.CommitFrac[pct] = t
 		}
 	}
+	res.CheckpointSeals = rec.CheckpointSeals()
+	for _, srv := range d.Servers {
+		res.SyncInstalls += srv.SyncInstalls()
+	}
 	// Safety invariants are checked on EVERY scenario — chaos or not — so
 	// any run of any study doubles as a machine-checked safety argument.
 	res.Invariant = invariant.Check(d, invariant.Config{
@@ -301,12 +337,46 @@ func runScenario(sc Scenario) *Result {
 		Injected:        gen.InjectedIDs(),
 		CommittedEpochs: rec.CommittedEpochSizes(),
 		Observer:        0,
+		FoldedEpochs:    rec.FoldedEpochs(),
+		FoldedCommitted: rec.FoldedCommitted(),
 	})
 	if res.Invariant != nil {
 		invariantViolations.Add(1)
 	}
+	measureHeap(res, d)
 	return res
 }
+
+// measureHeap enforces a scenario's heap ceiling: a forced GC followed by
+// ReadMemStats measures the live heap with the deployment pinned live (a
+// KeepAlive — liveness analysis would otherwise let the GC collect it
+// mid-measurement), so what is counted includes exactly the state the run
+// retains — the soak family's bounded-memory assertion. Skipped
+// (HeapLiveMB = -1) unless the scenario sets HeapCeilingMB.
+func measureHeap(res *Result, deployment any) {
+	res.HeapLiveMB = -1
+	if res.Scenario.HeapCeilingMB <= 0 {
+		return
+	}
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtime.KeepAlive(deployment)
+	res.HeapLiveMB = float64(ms.HeapAlloc) / (1 << 20)
+	if res.HeapLiveMB > float64(res.Scenario.HeapCeilingMB) {
+		res.HeapViolation = true
+		heapViolations.Add(1)
+	}
+}
+
+// heapViolations counts scenarios whose live heap exceeded their declared
+// ceiling, process-wide, mirroring invariantViolations so batch drivers
+// fail loudly on unbounded-memory regressions.
+var heapViolations atomic.Uint64
+
+// HeapViolations reports how many scenarios exceeded their heap ceiling
+// since process start.
+func HeapViolations() uint64 { return heapViolations.Load() }
 
 // invariantViolations counts scenarios whose end-of-run invariant check
 // failed, process-wide, so batch drivers (setchain-bench) can fail loudly

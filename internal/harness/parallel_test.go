@@ -23,9 +23,14 @@ func resultFingerprint(t *testing.T, res *Result) []byte {
 		Analytical float64
 		Blocks     int
 		Events     uint64
+		// Checkpoint counters are deterministic and belong in the
+		// byte-identity contract; the heap measurement is host-dependent
+		// and deliberately excluded.
+		CheckpointSeals uint64
+		SyncInstalls    uint64
 	}{res.Scenario, res.Injected, res.Committed, res.Eff50, res.Eff75,
 		res.Eff100, res.AvgTput, res.Series, res.CommitFrac, res.Analytical,
-		res.Blocks, res.Events})
+		res.Blocks, res.Events, res.CheckpointSeals, res.SyncInstalls})
 	if err != nil {
 		t.Fatalf("marshal result: %v", err)
 	}

@@ -58,37 +58,34 @@ func runShardedScenario(sc Scenario) *Result {
 	}
 
 	// Aggregate the per-shard recorders. Totals and checkpoint counts sum;
-	// series and commit fractions come from the merged per-second buckets,
-	// so they keep exactly the bucket semantics of a single recorder.
+	// series and commit fractions come from the merged time buckets, so
+	// they keep exactly the bucket semantics of a single recorder (widths
+	// are reconciled by MergeBuckets when a long run coarsened a shard).
 	var buckets []uint64
+	var bw time.Duration
 	for k, rec := range d.Recorders {
 		res.Injected += rec.TotalInjected()
 		res.Committed += rec.TotalCommitted()
 		res.AvgTput += rec.AvgThroughputUpTo(sc.SendFor)
-		obs := d.Shards[k].Server(d.Observer(k))
+		snap := d.Shards[k].Server(d.Observer(k)).Get()
 		res.PerShard = append(res.PerShard, shard.Stats{
 			Shard:     k,
 			Injected:  rec.TotalInjected(),
 			Committed: rec.TotalCommitted(),
 			AvgTput:   rec.AvgThroughputUpTo(sc.SendFor),
-			Epochs:    len(obs.Get().History),
-			Blocks:    len(d.Shards[k].Ledger.Nodes[0].Cons.Chain()),
+			Epochs:    int(snap.PrunedEpochs) + len(snap.History),
+			Blocks:    int(d.Shards[k].Ledger.Nodes[0].Cons.HeightCommitted()),
 		})
 		res.Blocks += res.PerShard[k].Blocks
-		for i, c := range rec.CommittedPerSecond() {
-			for len(buckets) <= i {
-				buckets = append(buckets, 0)
-			}
-			buckets[i] += c
-		}
+		bw, buckets = metrics.MergeBuckets(bw, buckets, rec.BucketWidth(), rec.CommittedPerSecond())
 	}
-	res.Eff50 = bucketEfficiency(buckets, res.Injected, sc.SendFor)
-	res.Eff75 = bucketEfficiency(buckets, res.Injected, sc.SendFor*3/2)
-	res.Eff100 = bucketEfficiency(buckets, res.Injected, sc.SendFor*2)
-	res.Series = metrics.BucketSeries(buckets, 9*time.Second)
+	res.Eff50 = bucketEfficiency(bw, buckets, res.Injected, sc.SendFor)
+	res.Eff75 = bucketEfficiency(bw, buckets, res.Injected, sc.SendFor*3/2)
+	res.Eff100 = bucketEfficiency(bw, buckets, res.Injected, sc.SendFor*2)
+	res.Series = metrics.BucketSeries(bw, buckets, 9*time.Second)
 	fracs := map[int]float64{0: 0, 10: 0.10, 20: 0.20, 30: 0.30, 40: 0.40, 50: 0.50}
 	for pct, frac := range fracs {
-		if t, ok := metrics.BucketTimeAtFraction(buckets, res.Injected, frac); ok {
+		if t, ok := metrics.BucketTimeAtFraction(bw, buckets, res.Injected, frac); ok {
 			res.CommitFrac[pct] = t
 		}
 	}
@@ -100,11 +97,17 @@ func runShardedScenario(sc Scenario) *Result {
 	res.SuperDigests = view.Digests()
 	var errs []error
 	for k, sd := range d.Shards {
+		res.CheckpointSeals += d.Recorders[k].CheckpointSeals()
+		for _, srv := range sd.Servers {
+			res.SyncInstalls += srv.SyncInstalls()
+		}
 		if err := invariant.Check(sd, invariant.Config{
 			Correct:         shardCorrectIDs(k, n, sc.Byzantine),
 			Injected:        gen.InjectedIDs(),
 			CommittedEpochs: d.Recorders[k].CommittedEpochSizes(),
 			Observer:        d.Observer(k),
+			FoldedEpochs:    d.Recorders[k].FoldedEpochs(),
+			FoldedCommitted: d.Recorders[k].FoldedCommitted(),
 		}); err != nil {
 			errs = append(errs, err)
 		}
@@ -119,6 +122,7 @@ func runShardedScenario(sc Scenario) *Result {
 	if res.Invariant != nil {
 		invariantViolations.Add(1)
 	}
+	measureHeap(res, d)
 	return res
 }
 
@@ -139,9 +143,9 @@ func shardCorrectIDs(k, n int, cfg ByzantineCfg) []wire.NodeID {
 // by t divided by total injected. The bucket math itself is the metrics
 // package's (BucketCommittedBy and friends), so sharded checkpoints
 // cannot drift from single-instance semantics.
-func bucketEfficiency(buckets []uint64, injected uint64, t time.Duration) float64 {
+func bucketEfficiency(width time.Duration, buckets []uint64, injected uint64, t time.Duration) float64 {
 	if injected == 0 {
 		return 0
 	}
-	return float64(metrics.BucketCommittedBy(buckets, t)) / float64(injected)
+	return float64(metrics.BucketCommittedBy(width, buckets, t)) / float64(injected)
 }

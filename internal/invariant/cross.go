@@ -81,9 +81,42 @@ func CheckCross(v *shard.View, cfg CrossConfig) error {
 		}
 	}
 
+	// Pruned-prefix coverage: when a shard's history was pruned under a
+	// checkpoint horizon, the dropped epochs must be sealed by that shard's
+	// checkpoint chain — the digests are the only remaining witness for
+	// the prefix, and the per-shard Check has already verified them against
+	// every correct server of the shard.
+	for s, hist := range v.Histories {
+		base := uint64(0)
+		if s < len(v.Bases) {
+			base = v.Bases[s]
+		}
+		if base == 0 {
+			continue
+		}
+		sealed := uint64(0)
+		if s < len(v.Checkpoints) {
+			for _, ck := range v.Checkpoints[s] {
+				if ck.Epoch > sealed {
+					sealed = ck.Epoch
+				}
+			}
+		}
+		if sealed < base {
+			errs = append(errs, fmt.Errorf(
+				"shard %d: history pruned below epoch %d but checkpoints only seal through %d",
+				s, base+1, sealed))
+		}
+		if len(hist) > 0 && hist[0].Number != base+1 {
+			errs = append(errs, fmt.Errorf(
+				"shard %d: retained history starts at epoch %d, base says %d",
+				s, hist[0].Number, base+1))
+		}
+	}
+
 	// Superepoch integrity: the claimed sequence must be exactly the
-	// deterministic merge of the histories.
-	want := shard.Merge(v.Histories)
+	// deterministic merge of the histories above the pruned bases.
+	want := shard.MergeFrom(v.Histories, v.Bases)
 	if len(v.Supers) != len(want) {
 		errs = append(errs, fmt.Errorf(
 			"superepoch sequence has %d entries, merge of the shard histories yields %d",

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/wire"
 )
@@ -63,6 +64,14 @@ type Config struct {
 	// Observer is the server whose observations defined commitment
 	// (the harness uses server 0).
 	Observer wire.NodeID
+	// FoldedEpochs/FoldedCommitted mirror the recorder's checkpoint folds
+	// (metrics.Recorder.FoldedEpochs/FoldedCommitted): committed epochs at
+	// or below FoldedEpochs were dropped from CommittedEpochs when the
+	// observer pruned, and their element total is FoldedCommitted. The
+	// checker reconciles the total against the observer's checkpoint chain
+	// instead of per-epoch history. Zero when nothing was pruned.
+	FoldedEpochs    uint64
+	FoldedCommitted uint64
 }
 
 // Check verifies every invariant against the deployment's final state and
@@ -83,19 +92,24 @@ func Check(d *core.Deployment, cfg Config) error {
 		snaps[id] = srv.Get()
 	}
 
-	// Per-server checks: monotone numbering, no duplication, no
-	// fabrication — one pass over each correct history.
+	// Per-server checks: monotone numbering (base-offset when a checkpoint
+	// pruned the prefix), no duplication, no fabrication — one pass over
+	// each correct history — plus self-consistency of the server's sealed
+	// checkpoint chain.
 	for _, id := range cfg.Correct {
 		snap, ok := snaps[id]
 		if !ok {
 			continue
 		}
+		for _, err := range checkCheckpoints(id, snap) {
+			errs = append(errs, err)
+		}
 		seen := make(map[wire.ElementID]uint64, len(snap.TheSet))
 		for i, ep := range snap.History {
-			if ep.Number != uint64(i+1) {
+			if ep.Number != snap.PrunedEpochs+uint64(i+1) {
 				errs = append(errs, fmt.Errorf(
-					"server %d: non-monotone history: epoch at position %d is numbered %d",
-					id, i, ep.Number))
+					"server %d: non-monotone history: epoch at position %d (base %d) is numbered %d",
+					id, i, snap.PrunedEpochs, ep.Number))
 			}
 			for _, e := range ep.Elements {
 				if prev, dup := seen[e.ID]; dup {
@@ -121,32 +135,61 @@ func Check(d *core.Deployment, cfg Config) error {
 	}
 
 	// Epoch-prefix consistency: compare every correct server against the
-	// correct server with the longest history. Pairwise agreement follows
-	// transitively, and one reference keeps the pass O(n·history) instead
-	// of O(n²·history).
+	// correct server with the longest history (by total epoch count —
+	// pruned prefix included). Pairwise agreement follows transitively,
+	// and one reference keeps the pass O(n·history) instead of
+	// O(n²·history). Histories are aligned by absolute epoch number; where
+	// a pruned prefix leaves no epochs to compare, the servers' checkpoint
+	// chains stand in for them — seal points are deterministic, so correct
+	// servers must have sealed bit-identical checkpoints, and a chain
+	// entry's digest commits to every epoch hash in its range.
 	var ref wire.NodeID
-	refLen := -1
+	refTotal := -1
 	for _, id := range cfg.Correct {
-		if snap, ok := snaps[id]; ok && len(snap.History) > refLen {
-			ref, refLen = id, len(snap.History)
+		if snap, ok := snaps[id]; ok {
+			if total := int(snap.PrunedEpochs) + len(snap.History); total > refTotal {
+				ref, refTotal = id, total
+			}
 		}
 	}
-	if refLen >= 0 {
-		refHist := snaps[ref].History
+	if refTotal >= 0 {
+		refSnap := snaps[ref]
 		for _, id := range cfg.Correct {
 			snap, ok := snaps[id]
 			if !ok || id == ref {
 				continue
 			}
-			for i, ep := range snap.History {
-				re := refHist[i]
+			// Checkpoint chains must agree entry for entry on the common
+			// prefix — this is the only witness for epochs both sides pruned.
+			cks, refCks := snap.Checkpoints, refSnap.Checkpoints
+			for i := 0; i < len(cks) && i < len(refCks); i++ {
+				// Content comparison (Same): seal heights are per-server
+				// prune metadata and may legitimately trail under faults.
+				if !cks[i].Same(refCks[i]) {
+					errs = append(errs, fmt.Errorf(
+						"servers %d and %d diverge: checkpoint %d is %+v vs %+v",
+						id, ref, i+1, cks[i], refCks[i]))
+				}
+			}
+			// Retained-epoch overlap, aligned by absolute number.
+			lo := snap.PrunedEpochs
+			if refSnap.PrunedEpochs > lo {
+				lo = refSnap.PrunedEpochs
+			}
+			hi := snap.PrunedEpochs + uint64(len(snap.History))
+			if top := refSnap.PrunedEpochs + uint64(len(refSnap.History)); top < hi {
+				hi = top
+			}
+			for num := lo + 1; num <= hi; num++ {
+				ep := snap.History[num-1-snap.PrunedEpochs]
+				re := refSnap.History[num-1-refSnap.PrunedEpochs]
 				if !bytes.Equal(ep.Hash, re.Hash) {
 					errs = append(errs, fmt.Errorf(
-						"servers %d and %d diverge: epoch %d hashes differ", id, ref, i+1))
+						"servers %d and %d diverge: epoch %d hashes differ", id, ref, num))
 				}
 				if err := sameElements(ep, re); err != nil {
 					errs = append(errs, fmt.Errorf("servers %d and %d diverge at epoch %d: %w",
-						id, ref, i+1, err))
+						id, ref, num, err))
 				}
 			}
 		}
@@ -158,28 +201,124 @@ func Check(d *core.Deployment, cfg Config) error {
 	// server whose history reaches that epoch.)
 	if cfg.CommittedEpochs != nil {
 		obs, ok := snaps[cfg.Observer]
-		if !ok && len(cfg.CommittedEpochs) > 0 {
+		if !ok && (len(cfg.CommittedEpochs) > 0 || cfg.FoldedEpochs > 0) {
 			errs = append(errs, fmt.Errorf(
 				"observer %d not among correct servers; cannot verify %d committed epochs",
 				cfg.Observer, len(cfg.CommittedEpochs)))
-		} else {
+		} else if ok {
+			total := obs.PrunedEpochs + uint64(len(obs.History))
 			for epoch, count := range cfg.CommittedEpochs {
-				if epoch == 0 || epoch > uint64(len(obs.History)) {
+				if epoch == 0 || epoch > total {
 					errs = append(errs, fmt.Errorf(
 						"committed epoch %d lost: observer %d history ends at epoch %d",
-						epoch, cfg.Observer, len(obs.History)))
+						epoch, cfg.Observer, total))
 					continue
 				}
-				if got := len(obs.History[epoch-1].Elements); got != count {
+				if epoch <= obs.PrunedEpochs {
+					// Pruned but not folded by the recorder: the per-epoch
+					// count is unverifiable; the aggregate check below and
+					// cross-server chain agreement cover it.
+					continue
+				}
+				if got := len(obs.History[epoch-1-obs.PrunedEpochs].Elements); got != count {
 					errs = append(errs, fmt.Errorf(
 						"committed epoch %d on observer %d has %d elements, recorder saw %d at creation",
 						epoch, cfg.Observer, got, count))
+				}
+			}
+			// Committed epochs folded below the prune horizon: their element
+			// total must match the observer's checkpoint for that horizon
+			// exactly (every epoch at or below a checkpoint is settled, so
+			// the folded commit total IS the checkpoint's cumulative count).
+			if cfg.FoldedEpochs > 0 {
+				found := false
+				for _, ck := range obs.Checkpoints {
+					if ck.Epoch == cfg.FoldedEpochs {
+						found = true
+						if ck.Elements != cfg.FoldedCommitted {
+							errs = append(errs, fmt.Errorf(
+								"folded committed elements through epoch %d: recorder saw %d, observer checkpoint holds %d",
+								cfg.FoldedEpochs, cfg.FoldedCommitted, ck.Elements))
+						}
+					}
+				}
+				if !found {
+					errs = append(errs, fmt.Errorf(
+						"recorder folded epochs through %d but observer %d has no checkpoint there",
+						cfg.FoldedEpochs, cfg.Observer))
 				}
 			}
 		}
 	}
 
 	return errors.Join(errs...)
+}
+
+// checkCheckpoints verifies one server's sealed checkpoint chain against
+// its own retained state: ascending seal points, digests that recompute
+// from retained epochs wherever the covered range is still present, and
+// pruned-prefix bookkeeping that matches the horizon checkpoint.
+func checkCheckpoints(id wire.NodeID, snap core.Snapshot) []error {
+	var errs []error
+	total := snap.PrunedEpochs + uint64(len(snap.History))
+	prev := checkpoint.Checkpoint{Digest: checkpoint.Seed()}
+	for i, ck := range snap.Checkpoints {
+		if ck.Epoch <= prev.Epoch || ck.Height < prev.Height || ck.Elements < prev.Elements {
+			errs = append(errs, fmt.Errorf(
+				"server %d: checkpoint %d (%+v) does not extend %+v", id, i+1, ck, prev))
+			prev = ck
+			continue
+		}
+		if ck.Epoch > total {
+			errs = append(errs, fmt.Errorf(
+				"server %d: checkpoint %d seals epoch %d beyond history end %d",
+				id, i+1, ck.Epoch, total))
+			prev = ck
+			continue
+		}
+		// Recompute digest and cumulative count when the covered range
+		// (prev.Epoch, ck.Epoch] survives in retained history — always true
+		// when checkpointing runs without pruning, so full chains get full
+		// digest verification there.
+		if prev.Epoch >= snap.PrunedEpochs {
+			d, elems := prev.Digest, prev.Elements
+			for e := prev.Epoch + 1; e <= ck.Epoch; e++ {
+				ep := snap.History[e-1-snap.PrunedEpochs]
+				d = checkpoint.ChainEpoch(d, ep.Number, ep.Hash)
+				elems += uint64(len(ep.Elements))
+			}
+			if d != ck.Digest {
+				errs = append(errs, fmt.Errorf(
+					"server %d: checkpoint at epoch %d: digest does not recompute from history",
+					id, ck.Epoch))
+			}
+			if elems != ck.Elements {
+				errs = append(errs, fmt.Errorf(
+					"server %d: checkpoint at epoch %d: cumulative elements %d, history holds %d",
+					id, ck.Epoch, ck.Elements, elems))
+			}
+		}
+		prev = ck
+	}
+	if snap.PrunedEpochs > 0 {
+		found := false
+		for _, ck := range snap.Checkpoints {
+			if ck.Epoch == snap.PrunedEpochs {
+				found = true
+				if ck.Elements != snap.PrunedElements {
+					errs = append(errs, fmt.Errorf(
+						"server %d: pruned %d elements but horizon checkpoint at epoch %d holds %d",
+						id, snap.PrunedElements, ck.Epoch, ck.Elements))
+				}
+			}
+		}
+		if !found {
+			errs = append(errs, fmt.Errorf(
+				"server %d: history pruned to epoch %d with no checkpoint sealing it",
+				id, snap.PrunedEpochs))
+		}
+	}
+	return errs
 }
 
 // sameElements compares two epochs' element-id sequences (order matters:

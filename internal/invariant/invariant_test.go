@@ -173,3 +173,119 @@ func TestCheckerNilSetsSkipOptionalChecks(t *testing.T) {
 		t.Fatalf("structural checks alone should pass: %v", err)
 	}
 }
+
+// runSmallCkpt is runSmall with checkpoint sealing enabled (every 2
+// epochs) and full history retained, so every digest recomputes end to
+// end and the checkpoint checker runs in its strictest mode.
+func runSmallCkpt(t *testing.T) (*core.Deployment, Config) {
+	t.Helper()
+	s := sim.New(1)
+	const n = 4
+	f := (n - 1) / 2
+	rec := metrics.New(s, metrics.LevelThroughput, n, f, 0)
+	d := core.Deploy(s, n, ledger.Config{
+		Net:       netsim.DefaultLANConfig(),
+		Consensus: consensus.PaperParams(),
+		Mempool:   mempool.PaperConfig(),
+	}, core.Options{
+		Algorithm:          core.Hashchain,
+		CollectorLimit:     100,
+		Costs:              core.PaperCostModel(),
+		F:                  f,
+		CheckpointInterval: 2,
+	}, rec)
+	gen := workload.New(d, rec, workload.Config{
+		Rate: 400, Duration: 6 * time.Second, TrackIDs: true,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(25 * time.Second)
+	d.Stop()
+	if len(d.Servers[0].Get().Checkpoints) == 0 {
+		t.Fatal("run sealed no checkpoints; checkpoint checks would be vacuous")
+	}
+	return d, Config{
+		Correct:         []wire.NodeID{0, 1, 2, 3},
+		Injected:        gen.InjectedIDs(),
+		CommittedEpochs: rec.CommittedEpochSizes(),
+		Observer:        0,
+	}
+}
+
+// The checkpoint arm of the checker must catch corrupted chains — and,
+// the regression half of the contract, must NOT flag a seal-height skew:
+// heights are per-server prune metadata that legitimately trail by a
+// block under faults, so only content (epoch, elements, digest) is part
+// of the cross-server agreement.
+func TestCheckerDetectsCheckpointCorruption(t *testing.T) {
+	// Snapshot slices share the server's backing arrays, so writing
+	// through Get().Checkpoints mutates live server state.
+	cases := []struct {
+		name   string
+		mutate func(t *testing.T, d *core.Deployment)
+		want   string // "" = checker must STAY green
+	}{
+		{
+			name: "digest corrupted",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				cks := d.Servers[1].Get().Checkpoints
+				cks[len(cks)-1].Digest ^= 1
+			},
+			want: "does not recompute",
+		},
+		{
+			name: "cumulative element count inflated",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				cks := d.Servers[2].Get().Checkpoints
+				cks[len(cks)-1].Elements += 5
+			},
+			want: "cumulative elements",
+		},
+		{
+			name: "chain regresses: seal point repeated",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				cks := d.Servers[1].Get().Checkpoints
+				if len(cks) < 2 {
+					t.Skip("need two checkpoints")
+				}
+				cks[1].Epoch = cks[0].Epoch
+			},
+			want: "does not extend",
+		},
+		{
+			name: "seal beyond history end",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				cks := d.Servers[3].Get().Checkpoints
+				cks[len(cks)-1].Epoch += 1000
+			},
+			want: "beyond history end",
+		},
+		{
+			name: "seal height skew is NOT a violation",
+			mutate: func(t *testing.T, d *core.Deployment) {
+				cks := d.Servers[1].Get().Checkpoints
+				cks[len(cks)-1].Height++
+			},
+			want: "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, cfg := runSmallCkpt(t)
+			tc.mutate(t, d)
+			err := Check(d, cfg)
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("checker flagged an advisory-height skew: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("checker stayed green on a corrupted checkpoint chain")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("violation %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -53,6 +53,16 @@ func (n *Node) Append(tx *wire.Tx) bool {
 // not mempool gossip or a consensus message) to the application layer.
 func (n *Node) SetAppMsgHandler(h AppMsgHandler) { n.appMsg = h }
 
+// Checkpointed tells the ledger stack the application sealed a pruning
+// checkpoint at the given height: consensus drops committed blocks and
+// decided proposals at or below it, and the mempool drops the committed-key
+// tombstones those blocks justified. Called by the application (core) when
+// Options.Prune is on.
+func (n *Node) Checkpointed(height uint64) {
+	n.Cons.SetRetainHorizon(height)
+	n.Pool.PruneTombstonesBelow(height)
+}
+
 // Send transmits an application-level message to a peer over the same
 // simulated fabric the ledger uses.
 func (n *Node) Send(to wire.NodeID, payload any, size int) {
@@ -63,7 +73,8 @@ func (n *Node) receive(from wire.NodeID, payload any, size int) {
 	switch msg := payload.(type) {
 	case *mempool.GossipMsg:
 		n.Pool.ReceiveGossip(msg)
-	case *consensus.Proposal, *consensus.Vote, *consensus.BlockRequest, *consensus.BlockResponse:
+	case *consensus.Proposal, *consensus.Vote, *consensus.BlockRequest,
+		*consensus.BlockResponse, *consensus.SyncResponse:
 		n.Cons.Receive(from, payload)
 	default:
 		if n.appMsg != nil {
@@ -177,6 +188,11 @@ func (c *Cluster) SetApp(id wire.NodeID, app abci.Application) {
 	node.Pool.SetCheck(app.CheckTx)
 	node.Cons = consensus.NewNode(id, validators, c.Sim, c.Net, node.Cons.Params(),
 		c.Suite, key, c.Registry, node.Pool, app)
+	// Applications that checkpoint (core.Server) also serve and install
+	// state-sync snapshots for deep catch-up.
+	if syncer, ok := app.(consensus.StateSyncer); ok {
+		node.Cons.SetStateSyncer(syncer)
+	}
 }
 
 // node resolves a node id to the cluster's node and its keypair.
@@ -204,25 +220,34 @@ func (c *Cluster) Stop() {
 }
 
 // VerifyConsistentChains checks Property 10 across all live nodes: every
-// pair of chains agrees on their common prefix. Returns an error describing
-// the first divergence found.
+// pair of chains agrees on the overlap of their retained height ranges
+// (checkpoint pruning may have trimmed different prefixes — chains are
+// aligned by absolute height via ChainBase, and the pruned prefixes are
+// cross-checked digest-wise by the invariant checker instead). Returns an
+// error describing the first divergence found.
 func (c *Cluster) VerifyConsistentChains() error {
 	for i := 0; i < len(c.Nodes); i++ {
 		for j := i + 1; j < len(c.Nodes); j++ {
 			a, b := c.Nodes[i].Cons.Chain(), c.Nodes[j].Cons.Chain()
-			m := len(a)
-			if len(b) < m {
-				m = len(b)
+			baseA, baseB := c.Nodes[i].Cons.ChainBase(), c.Nodes[j].Cons.ChainBase()
+			lo := baseA
+			if baseB > lo {
+				lo = baseB
 			}
-			for h := 0; h < m; h++ {
-				if len(a[h].Txs) != len(b[h].Txs) {
+			hi := baseA + uint64(len(a))
+			if top := baseB + uint64(len(b)); top < hi {
+				hi = top
+			}
+			for ht := lo + 1; ht <= hi; ht++ {
+				ba, bb := a[ht-1-baseA], b[ht-1-baseB]
+				if len(ba.Txs) != len(bb.Txs) {
 					return fmt.Errorf("nodes %d/%d diverge at height %d: %d vs %d txs",
-						i, j, h+1, len(a[h].Txs), len(b[h].Txs))
+						i, j, ht, len(ba.Txs), len(bb.Txs))
 				}
-				for k := range a[h].Txs {
-					if a[h].Txs[k].MapKey() != b[h].Txs[k].MapKey() {
+				for k := range ba.Txs {
+					if ba.Txs[k].MapKey() != bb.Txs[k].MapKey() {
 						return fmt.Errorf("nodes %d/%d diverge at height %d tx %d",
-							i, j, h+1, k)
+							i, j, ht, k)
 					}
 				}
 			}

@@ -66,15 +66,29 @@ type Mempool struct {
 	live    int          // entries with non-nil value
 	bytes   int
 
+	// tombstones logs committed keys by commit height so checkpointing can
+	// drop tombstones below the prune horizon (PruneTombstonesBelow).
+	// Without pruning the log — like the tombstones themselves — grows with
+	// total committed transactions, which is exactly the unbounded growth
+	// soak runs must not have.
+	tombstones []tombstoneBatch
+
 	pendingGossip []*wire.Tx
 	flushArmed    bool
 	peers         []wire.NodeID
 
 	// Stats.
-	admitted  uint64
-	rejected  uint64
-	dropped   uint64 // capacity drops
-	duplicate uint64
+	admitted         uint64
+	rejected         uint64
+	dropped          uint64 // capacity drops
+	duplicate        uint64
+	tombstonesPruned uint64
+}
+
+// tombstoneBatch records the keys tombstoned by one committed block.
+type tombstoneBatch struct {
+	height uint64
+	keys   []wire.TxKey
 }
 
 // New creates a mempool for a node. peers is the set of other nodes gossip
@@ -195,10 +209,13 @@ func (m *Mempool) Reap(maxBytes int) []*wire.Tx {
 	return out
 }
 
-// RemoveCommitted evicts transactions included in a committed block and
-// compacts the admission order lazily. The keys stay in seen, so committed
-// transactions can never re-enter this pool.
-func (m *Mempool) RemoveCommitted(txs []*wire.Tx) {
+// RemoveCommitted evicts transactions included in the block committed at
+// the given height and compacts the admission order lazily. The keys stay
+// as tombstones, so committed transactions can never re-enter this pool —
+// until PruneTombstonesBelow drops tombstones the checkpoint horizon has
+// made redundant.
+func (m *Mempool) RemoveCommitted(height uint64, txs []*wire.Tx) {
+	keys := make([]wire.TxKey, 0, len(txs))
 	for _, tx := range txs {
 		key := tx.MapKey()
 		// A committed tx may have never reached this pool (e.g. it was
@@ -209,9 +226,43 @@ func (m *Mempool) RemoveCommitted(txs []*wire.Tx) {
 			m.live--
 		}
 		m.entries[key] = nil
+		keys = append(keys, key)
+	}
+	if len(keys) > 0 {
+		m.tombstones = append(m.tombstones, tombstoneBatch{height: height, keys: keys})
 	}
 	m.compact()
 }
+
+// PruneTombstonesBelow deletes tombstones for transactions committed at or
+// below the given height (the latest checkpoint's seal height). Safe
+// because everything those transactions carried is settled below the
+// checkpoint: if impossibly late gossip re-admits one, the application
+// layers drop its content as stale (elements via the membership index,
+// proofs and hash-batch signatures via their own horizons), so the worst
+// case is a few wasted block bytes — the price of bounded memory.
+func (m *Mempool) PruneTombstonesBelow(height uint64) {
+	cut := 0
+	for cut < len(m.tombstones) && m.tombstones[cut].height <= height {
+		for _, key := range m.tombstones[cut].keys {
+			if tx, ok := m.entries[key]; ok && tx == nil {
+				delete(m.entries, key)
+				m.tombstonesPruned++
+			}
+		}
+		cut++
+	}
+	if cut > 0 {
+		m.tombstones = append([]tombstoneBatch(nil), m.tombstones[cut:]...)
+	}
+}
+
+// TombstonedKeys returns how many committed-key tombstones the pool holds
+// (soak assertions pin this as bounded under pruning).
+func (m *Mempool) TombstonedKeys() int { return len(m.entries) - m.live }
+
+// TombstonesPruned returns how many tombstones pruning has dropped.
+func (m *Mempool) TombstonesPruned() uint64 { return m.tombstonesPruned }
 
 func (m *Mempool) compact() {
 	// Rebuild order only when it is mostly tombstones to keep Reap cheap.

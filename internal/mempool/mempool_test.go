@@ -185,8 +185,8 @@ func TestRemoveCommittedBlocksReentry(t *testing.T) {
 	if pools[1].Size() != 1 {
 		t.Fatal("gossip did not replicate")
 	}
-	pools[0].RemoveCommitted([]*wire.Tx{tx})
-	pools[1].RemoveCommitted([]*wire.Tx{tx})
+	pools[0].RemoveCommitted(1, []*wire.Tx{tx})
+	pools[1].RemoveCommitted(1, []*wire.Tx{tx})
 	if pools[0].Size() != 0 || pools[1].Size() != 0 {
 		t.Fatal("committed tx not removed")
 	}
@@ -202,7 +202,7 @@ func TestRemoveCommittedNeverSeen(t *testing.T) {
 	s, pools := newTestPools(t, 1, Config{})
 	p := pools[0]
 	tx := elemTx(9, 100)
-	p.RemoveCommitted([]*wire.Tx{tx}) // seen-marking path
+	p.RemoveCommitted(1, []*wire.Tx{tx}) // seen-marking path
 	s.After(0, func() {
 		if p.AddTx(tx) {
 			t.Error("committed-elsewhere tx admitted")
@@ -223,7 +223,7 @@ func TestReapRespectsRemoval(t *testing.T) {
 		}
 	})
 	s.Run()
-	p.RemoveCommitted(txs[:5])
+	p.RemoveCommitted(1, txs[:5])
 	got := p.Reap(1 << 20)
 	if len(got) != 5 {
 		t.Fatalf("reaped %d, want 5 after removal", len(got))
@@ -245,7 +245,7 @@ func TestCompactKeepsOrder(t *testing.T) {
 		}
 	})
 	s.Run()
-	p.RemoveCommitted(txs[:150]) // triggers compaction
+	p.RemoveCommitted(1, txs[:150]) // triggers compaction
 	got := p.Reap(1 << 20)
 	if len(got) != 50 {
 		t.Fatalf("reaped %d, want 50", len(got))
@@ -315,7 +315,60 @@ func BenchmarkAddReapRemove(b *testing.B) {
 		p.AddTx(tx)
 		if i%1000 == 999 {
 			batch := p.Reap(1 << 20)
-			p.RemoveCommitted(batch)
+			p.RemoveCommitted(1, batch)
 		}
+	}
+}
+
+// Tombstones below the checkpoint horizon are dropped, tombstones above
+// it retained, and the retained ones keep blocking re-entry. A pruned
+// key CAN re-enter — the documented worst case, which the application
+// layers neutralize because everything it carried is settled below the
+// checkpoint.
+func TestPruneTombstonesBelow(t *testing.T) {
+	s, pools := newTestPools(t, 1, Config{})
+	p := pools[0]
+	var batches [][]*wire.Tx
+	s.After(0, func() {
+		for h := 0; h < 3; h++ {
+			var txs []*wire.Tx
+			for i := 0; i < 4; i++ {
+				tx := elemTx(h*4+i, 100)
+				txs = append(txs, tx)
+				p.AddTx(tx)
+			}
+			batches = append(batches, txs)
+		}
+	})
+	s.Run()
+	for h, txs := range batches {
+		p.RemoveCommitted(uint64(h+1), txs)
+	}
+	if got := p.TombstonedKeys(); got != 12 {
+		t.Fatalf("tombstones = %d, want 12", got)
+	}
+
+	p.PruneTombstonesBelow(2) // drops heights 1 and 2
+	if got := p.TombstonedKeys(); got != 4 {
+		t.Fatalf("tombstones after prune = %d, want 4 (height 3 only)", got)
+	}
+	if got := p.TombstonesPruned(); got != 8 {
+		t.Fatalf("pruned counter = %d, want 8", got)
+	}
+	// Height-3 tombstones still block re-entry; pruned keys re-admit.
+	s.After(0, func() {
+		if p.AddTx(batches[2][0]) {
+			t.Error("retained tombstone failed to block re-entry")
+		}
+		if !p.AddTx(batches[0][0]) {
+			t.Error("pruned key blocked — tombstone survived pruning")
+		}
+	})
+	s.Run()
+
+	// Pruning is idempotent and monotone: a lower horizon is a no-op.
+	p.PruneTombstonesBelow(2)
+	if got := p.TombstonesPruned(); got != 8 {
+		t.Fatalf("re-prune moved the counter: %d, want 8", got)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -64,6 +65,14 @@ func (s Stage) String() string {
 
 const bucketWidth = time.Second
 
+// defaultBucketBudget caps the per-series bucket count. When a run's
+// horizon outgrows the budget the recorder coarsens: adjacent buckets are
+// pair-summed and the width doubles (widths are always bucketWidth·2^k),
+// keeping memory O(budget) for arbitrarily long soak runs. Runs shorter
+// than the budget — every pre-soak scenario — never coarsen, so their
+// bucket math is bit-identical to the uncapped recorder.
+const defaultBucketBudget = 1024
+
 // unset marks a stage timestamp that has not occurred.
 const unset = time.Duration(-1)
 
@@ -90,10 +99,18 @@ type Recorder struct {
 	f        int
 	observer wire.NodeID
 
-	injected  []uint64 // per-second buckets
+	injected  []uint64 // time buckets, bw wide (per-second until coarsened)
 	committed []uint64
+	bw        time.Duration // current bucket width (bucketWidth·2^k)
+	budget    int           // max buckets per series; 0 = unbounded
 	totalInj  uint64
 	totalComm uint64
+
+	// Checkpoint accounting (CheckpointSealed).
+	ckptSeals    uint64
+	lastCkpt     checkpoint.Checkpoint
+	foldedEpochs uint64 // highest epoch folded out of the per-epoch maps
+	foldedComm   uint64 // committed elements folded (sum of dropped sizes)
 
 	epochElems   map[uint64]int
 	epochIDs     map[uint64][]wire.ElementID
@@ -116,6 +133,8 @@ func New(s *sim.Simulator, level Level, n, f int, observer wire.NodeID) *Recorde
 		n:            n,
 		f:            f,
 		observer:     observer,
+		bw:           bucketWidth,
+		budget:       defaultBucketBudget,
 		epochElems:   make(map[uint64]int),
 		epochIDs:     make(map[uint64][]wire.ElementID),
 		proofSigners: make(map[uint64]map[wire.NodeID]bool),
@@ -125,12 +144,40 @@ func New(s *sim.Simulator, level Level, n, f int, observer wire.NodeID) *Recorde
 	}
 }
 
+// SetBucketBudget overrides the bucket-count cap (0 disables coarsening).
+// Call before the run starts.
+func (r *Recorder) SetBucketBudget(n int) { r.budget = n }
+
 func (r *Recorder) bucket(slice *[]uint64, t time.Duration) {
-	idx := int(t / bucketWidth)
+	idx := int(t / r.bw)
+	for r.budget > 0 && idx >= r.budget {
+		r.coarsen()
+		idx = int(t / r.bw)
+	}
 	for len(*slice) <= idx {
 		*slice = append(*slice, 0)
 	}
 	(*slice)[idx]++
+}
+
+// coarsen halves both series in place by pair-summing and doubles the
+// width. Both series share one width so merged readouts stay consistent.
+func (r *Recorder) coarsen() {
+	r.injected = pairSum(r.injected)
+	r.committed = pairSum(r.committed)
+	r.bw *= 2
+}
+
+func pairSum(b []uint64) []uint64 {
+	out := b[:0]
+	for i := 0; i < len(b); i += 2 {
+		v := b[i]
+		if i+1 < len(b) {
+			v += b[i+1]
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // Injected records a client creating an element.
@@ -256,10 +303,55 @@ func (r *Recorder) ProofOnLedger(node wire.NodeID, epoch uint64, signer wire.Nod
 	}
 }
 
+// CheckpointSealed records the observer sealing an epoch checkpoint.
+// When the deployment prunes, the recorder folds its own settled state in
+// lockstep: per-epoch maps for epochs at or below the checkpoint horizon
+// are dropped (their committed counts are already in the totals), keeping
+// the recorder's epoch-keyed memory bounded by the retention window. The
+// folded totals stay available via FoldedEpochs/FoldedCommitted so the
+// invariant checker can reconcile them against the checkpoint's
+// cumulative element count.
+func (r *Recorder) CheckpointSealed(node wire.NodeID, ck checkpoint.Checkpoint, prune bool) {
+	if node != r.observer {
+		return
+	}
+	r.ckptSeals++
+	r.lastCkpt = ck
+	if !prune {
+		return
+	}
+	for ep := r.foldedEpochs + 1; ep <= ck.Epoch; ep++ {
+		if r.epochDone[ep] {
+			r.foldedComm += uint64(r.epochElems[ep])
+		}
+		delete(r.epochElems, ep)
+		delete(r.epochIDs, ep)
+		delete(r.proofSigners, ep)
+		delete(r.epochDone, ep)
+	}
+	r.foldedEpochs = ck.Epoch
+}
+
+// CheckpointSeals returns how many checkpoints the observer sealed.
+func (r *Recorder) CheckpointSeals() uint64 { return r.ckptSeals }
+
+// LastCheckpoint returns the observer's most recent checkpoint (zero value
+// when none sealed).
+func (r *Recorder) LastCheckpoint() checkpoint.Checkpoint { return r.lastCkpt }
+
+// FoldedEpochs returns the highest epoch folded below the prune horizon.
+func (r *Recorder) FoldedEpochs() uint64 { return r.foldedEpochs }
+
+// FoldedCommitted returns how many committed elements were folded below
+// the prune horizon (they no longer appear in CommittedEpochSizes).
+func (r *Recorder) FoldedCommitted() uint64 { return r.foldedComm }
+
 // CommittedEpochSizes returns, for every epoch the observer saw reach f+1
 // epoch-proofs on the ledger, the element count the observer recorded at
 // epoch creation. The invariant checker replays this against the servers'
-// final histories (no committed element lost).
+// final histories (no committed element lost). Epochs folded below a
+// prune horizon are absent — FoldedEpochs/FoldedCommitted account for
+// them in aggregate.
 func (r *Recorder) CommittedEpochSizes() map[uint64]int {
 	out := make(map[uint64]int, len(r.epochDone))
 	for ep := range r.epochDone {
@@ -277,28 +369,33 @@ func (r *Recorder) TotalCommitted() uint64 { return r.totalComm }
 // LastCommitTime returns when the most recent epoch commit happened.
 func (r *Recorder) LastCommitTime() time.Duration { return r.lastCommit }
 
-// CommittedPerSecond returns a copy of the per-second committed-element
-// buckets (bucket i covers virtual second [i, i+1)). Aggregators — the
-// sharded executor sums several recorders' buckets — use it to compute
-// global series and commit-time fractions with the same bucket semantics
-// a single recorder has.
+// BucketWidth returns the current width of the recorder's time buckets —
+// one second until the bucket budget forces coarsening.
+func (r *Recorder) BucketWidth() time.Duration { return r.bw }
+
+// CommittedPerSecond returns a copy of the committed-element buckets.
+// Bucket i covers virtual time [i·w, (i+1)·w) with w = BucketWidth() —
+// one second for any run short enough to never coarsen. Aggregators — the
+// sharded executor merges several recorders' buckets via MergeBuckets —
+// use it to compute global series and commit-time fractions with the same
+// bucket semantics a single recorder has.
 func (r *Recorder) CommittedPerSecond() []uint64 {
 	return append([]uint64(nil), r.committed...)
 }
 
 // CommittedBy returns how many elements were committed at or before t.
 func (r *Recorder) CommittedBy(t time.Duration) uint64 {
-	return BucketCommittedBy(r.committed, t)
+	return BucketCommittedBy(r.bw, r.committed, t)
 }
 
-// BucketCommittedBy is CommittedBy over a caller-held bucket slice
-// (bucket i covers virtual second [i, i+1)). Aggregators — the sharded
+// BucketCommittedBy is CommittedBy over a caller-held bucket slice of the
+// given width (bucket i covers [i·w, (i+1)·w)). Aggregators — the sharded
 // executor merges several recorders' buckets — share this one
 // implementation so their checkpoint semantics cannot drift from a
 // single recorder's.
-func BucketCommittedBy(buckets []uint64, t time.Duration) uint64 {
+func BucketCommittedBy(width time.Duration, buckets []uint64, t time.Duration) uint64 {
 	var sum uint64
-	limit := int(t / bucketWidth)
+	limit := int(t / width)
 	for i, c := range buckets {
 		if i > limit {
 			break
@@ -306,6 +403,33 @@ func BucketCommittedBy(buckets []uint64, t time.Duration) uint64 {
 		sum += c
 	}
 	return sum
+}
+
+// MergeBuckets element-sums two bucket series that may have different
+// (power-of-two-related) widths: the finer series is coarsened to the
+// wider width first — exact, because widths are always bucketWidth·2^k —
+// then the series are added. Returns the common width and merged slice.
+// A nil first series acts as the additive identity (accumulator seeding).
+func MergeBuckets(w1 time.Duration, b1 []uint64, w2 time.Duration, b2 []uint64) (time.Duration, []uint64) {
+	if len(b1) == 0 && w1 == 0 {
+		w1 = w2
+	}
+	for w1 < w2 {
+		b1 = pairSum(append([]uint64(nil), b1...))
+		w1 *= 2
+	}
+	for w2 < w1 {
+		b2 = pairSum(append([]uint64(nil), b2...))
+		w2 *= 2
+	}
+	out := append([]uint64(nil), b1...)
+	for len(out) < len(b2) {
+		out = append(out, 0)
+	}
+	for i, c := range b2 {
+		out[i] += c
+	}
+	return w1, out
 }
 
 // Efficiency returns committed-by-t divided by total added (the paper's
@@ -333,15 +457,15 @@ type SeriesPoint struct {
 }
 
 // ThroughputSeries returns the rolling average commit rate with the given
-// window (the paper plots a 9 s window), sampled once per second.
+// window (the paper plots a 9 s window), sampled once per bucket.
 func (r *Recorder) ThroughputSeries(window time.Duration) []SeriesPoint {
-	return BucketSeries(r.committed, window)
+	return BucketSeries(r.bw, r.committed, window)
 }
 
-// BucketSeries is ThroughputSeries over a caller-held bucket slice (see
-// BucketCommittedBy for why the bucket math lives here).
-func BucketSeries(buckets []uint64, window time.Duration) []SeriesPoint {
-	w := int(window / bucketWidth)
+// BucketSeries is ThroughputSeries over a caller-held bucket slice of the
+// given width (see BucketCommittedBy for why the bucket math lives here).
+func BucketSeries(width time.Duration, buckets []uint64, window time.Duration) []SeriesPoint {
+	w := int(window / width)
 	if w < 1 {
 		w = 1
 	}
@@ -357,8 +481,8 @@ func BucketSeries(buckets []uint64, window time.Duration) []SeriesPoint {
 			span = i + 1
 		}
 		out = append(out, SeriesPoint{
-			Time: time.Duration(i+1) * bucketWidth,
-			Rate: float64(sum) / (time.Duration(span) * bucketWidth).Seconds(),
+			Time: time.Duration(i+1) * width,
+			Rate: float64(sum) / (time.Duration(span) * width).Seconds(),
 		})
 	}
 	return out
@@ -368,13 +492,13 @@ func BucketSeries(buckets []uint64, window time.Duration) []SeriesPoint {
 // of all injected elements had committed, and ok=false if never reached
 // (Appendix F's commit-time metric).
 func (r *Recorder) CommitTimeAtFraction(frac float64) (time.Duration, bool) {
-	return BucketTimeAtFraction(r.committed, r.totalInj, frac)
+	return BucketTimeAtFraction(r.bw, r.committed, r.totalInj, frac)
 }
 
 // BucketTimeAtFraction is CommitTimeAtFraction over a caller-held bucket
-// slice and its injected total (see BucketCommittedBy for why the bucket
-// math lives here).
-func BucketTimeAtFraction(buckets []uint64, total uint64, frac float64) (time.Duration, bool) {
+// slice of the given width and its injected total (see BucketCommittedBy
+// for why the bucket math lives here).
+func BucketTimeAtFraction(width time.Duration, buckets []uint64, total uint64, frac float64) (time.Duration, bool) {
 	target := uint64(frac * float64(total))
 	if target == 0 {
 		target = 1
@@ -383,7 +507,7 @@ func BucketTimeAtFraction(buckets []uint64, total uint64, frac float64) (time.Du
 	for i, c := range buckets {
 		sum += c
 		if sum >= target {
-			return time.Duration(i+1) * bucketWidth, true
+			return time.Duration(i+1) * width, true
 		}
 	}
 	return 0, false

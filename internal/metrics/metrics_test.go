@@ -268,3 +268,101 @@ func TestStageStrings(t *testing.T) {
 		}
 	}
 }
+
+// pairSum is the primitive behind coarsening and width reconciliation: it
+// halves a series by adding adjacent buckets, carrying an odd tail as its
+// own bucket, and must never lose counts.
+func TestPairSum(t *testing.T) {
+	got := pairSum([]uint64{1, 2, 3, 4, 5})
+	want := []uint64{3, 7, 5}
+	if len(got) != len(want) {
+		t.Fatalf("pairSum len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pairSum[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if out := pairSum(nil); len(out) != 0 {
+		t.Fatalf("pairSum(nil) = %v, want empty", out)
+	}
+}
+
+// When the horizon outgrows the bucket budget the recorder coarsens
+// instead of growing: the width doubles (staying bucketWidth·2^k), the
+// bucket count stays under the budget and no count is lost.
+func TestBucketBudgetCoarsens(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	r.SetBucketBudget(4)
+	const events = 16
+	for i := 0; i < events; i++ {
+		at := time.Duration(i)*time.Second + 500*time.Millisecond
+		s.After(at, func() { r.Injected(elem(i)) })
+	}
+	s.Run()
+	// 16 one-second buckets under a budget of 4 force two doublings.
+	if r.BucketWidth() != 4*time.Second {
+		t.Fatalf("BucketWidth = %v after coarsening, want 4s", r.BucketWidth())
+	}
+	if len(r.injected) > 4 {
+		t.Fatalf("injected series holds %d buckets, budget is 4", len(r.injected))
+	}
+	var sum uint64
+	for _, c := range r.injected {
+		sum += c
+	}
+	if sum != events || r.TotalInjected() != events {
+		t.Fatalf("coarsening lost counts: bucket sum %d, total %d, want %d",
+			sum, r.TotalInjected(), events)
+	}
+}
+
+// A zero budget disables coarsening entirely: the width pins at one
+// second no matter how long the run gets.
+func TestBucketBudgetZeroDisablesCoarsening(t *testing.T) {
+	s := sim.New(1)
+	r := New(s, LevelThroughput, 4, 1, 0)
+	r.SetBucketBudget(0)
+	s.After(5000*time.Second, func() { r.Injected(elem(1)) })
+	s.Run()
+	if r.BucketWidth() != time.Second {
+		t.Fatalf("BucketWidth = %v with budget 0, want 1s", r.BucketWidth())
+	}
+	if len(r.injected) != 5001 {
+		t.Fatalf("injected series holds %d buckets, want 5001", len(r.injected))
+	}
+}
+
+// MergeBuckets reconciles series of different (power-of-two-related)
+// widths by coarsening the finer one, preserves totals, pads length
+// mismatches and treats a nil first series as the additive identity —
+// without mutating its inputs (the sharded executor reuses per-shard
+// slices after merging).
+func TestMergeBucketsReconcilesWidths(t *testing.T) {
+	b1 := []uint64{1, 2, 3, 4}
+	b2 := []uint64{10, 20}
+	w, out := MergeBuckets(time.Second, b1, 2*time.Second, b2)
+	if w != 2*time.Second {
+		t.Fatalf("merged width = %v, want 2s", w)
+	}
+	want := []uint64{13, 27} // pairSum(b1)=[3,7] + [10,20]
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("merged[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+	if b1[0] != 1 || b1[1] != 2 || b2[0] != 10 {
+		t.Fatal("MergeBuckets mutated its inputs")
+	}
+	// Accumulator seeding: nil first series adopts the other's width.
+	if w, out := MergeBuckets(0, nil, 2*time.Second, b2); w != 2*time.Second ||
+		len(out) != 2 || out[0] != 10 || out[1] != 20 {
+		t.Fatalf("nil identity merge = (%v, %v)", w, out)
+	}
+	// Shorter first series is padded, not truncated.
+	if _, out := MergeBuckets(time.Second, []uint64{1}, time.Second, []uint64{1, 2, 3}); len(out) != 3 ||
+		out[0] != 2 || out[2] != 3 {
+		t.Fatalf("length padding merge = %v", out)
+	}
+}

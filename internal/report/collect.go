@@ -49,6 +49,14 @@ func Measurements(res *harness.Result) map[string]float64 {
 			m[spec.MetricP99CommitS] = seconds(metrics.LatencyQuantile(lats, 0.99))
 		}
 	}
+	// Checkpoint counters are deterministic (pure functions of the
+	// scenario) and so belong in the artifact; the heap measurement does
+	// not — it depends on the host and on concurrently-running cells, so
+	// it stays a run-time assertion (harness.Result.HeapLiveMB) only.
+	if res.Scenario.CheckpointInterval > 0 {
+		m[spec.MetricCkptSeals] = float64(res.CheckpointSeals)
+		m[spec.MetricSyncInstalls] = float64(res.SyncInstalls)
+	}
 	return m
 }
 

@@ -31,6 +31,7 @@ package shard
 import (
 	"fmt"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/ledger"
 	"repro/internal/metrics"
@@ -142,19 +143,36 @@ type Stats struct {
 	Committed uint64
 	// AvgTput is the shard's committed/second up to the send-end.
 	AvgTput float64
-	// Epochs is the shard observer's history length; Blocks its ledger
-	// height.
+	// Epochs is the shard observer's total epoch count (pruned + retained);
+	// Blocks its ledger height (likewise including any pruned prefix).
 	Epochs int
 	Blocks int
 }
 
 // View snapshots every shard observer's history and merges it into the
 // cross-shard superepoch sequence. Call after Stop; the histories are
-// zero-copy views of live server state.
+// zero-copy views of live server state. Observers that pruned under a
+// checkpoint horizon contribute their base and checkpoint chain, so the
+// merge starts above the highest pruned prefix and the cross-shard
+// checker can account for what was dropped.
 func (d *Deployment) View() *View {
 	hists := make([][]*core.Epoch, len(d.Shards))
+	bases := make([]uint64, len(d.Shards))
+	cks := make([][]checkpoint.Checkpoint, len(d.Shards))
+	pruned := false
 	for k, sh := range d.Shards {
-		hists[k] = sh.Server(d.Observer(k)).Get().History
+		snap := sh.Server(d.Observer(k)).Get()
+		hists[k] = snap.History
+		bases[k] = snap.PrunedEpochs
+		cks[k] = snap.Checkpoints
+		pruned = pruned || snap.PrunedEpochs > 0
 	}
-	return NewView(hists)
+	if !pruned {
+		// Checkpoint chains still travel (the checker verifies them even
+		// unpruned); nil bases keep the classic merge bit-identical.
+		v := NewView(hists)
+		v.Checkpoints = cks
+		return v
+	}
+	return NewPrunedView(hists, bases, cks)
 }

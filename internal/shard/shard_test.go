@@ -159,3 +159,45 @@ func TestDeploymentRoutesAndCommits(t *testing.T) {
 		}
 	}
 }
+
+// MergeFrom with nil or all-zero bases must reproduce Merge bit for bit
+// (Merge is defined as the zero-base special case), and with real bases —
+// per-shard pruned prefixes — the merged suffix must carry the same
+// numbers and digests as merging the full unpruned histories would. That
+// equivalence is what lets the cross-shard checker keep verifying
+// superepoch digests after checkpoint pruning dropped the prefix.
+func TestMergeFromBasesAlignPrunedHistories(t *testing.T) {
+	full := [][]*core.Epoch{
+		{epoch(1, 1), epoch(2, 2), epoch(3, 3), epoch(4, 4)},
+		{epoch(1, 5), epoch(2, 6), epoch(3, 7), epoch(4, 8)},
+	}
+	want := Merge(full)
+
+	same := func(name string, got []*Superepoch, wantTail []*Superepoch) {
+		t.Helper()
+		if len(got) != len(wantTail) {
+			t.Fatalf("%s: %d superepochs, want %d", name, len(got), len(wantTail))
+		}
+		for i := range got {
+			if got[i].Number != wantTail[i].Number || got[i].Digest != wantTail[i].Digest {
+				t.Fatalf("%s: superepoch %d = (num %d, digest %x), want (num %d, digest %x)",
+					name, i, got[i].Number, got[i].Digest, wantTail[i].Number, wantTail[i].Digest)
+			}
+			if len(got[i].Parts) != len(wantTail[i].Parts) {
+				t.Fatalf("%s: superepoch %d has %d parts, want %d",
+					name, got[i].Number, len(got[i].Parts), len(wantTail[i].Parts))
+			}
+		}
+	}
+	same("nil bases", MergeFrom(full, nil), want)
+	same("zero bases", MergeFrom(full, []uint64{0, 0}), want)
+	// Short base slice: missing entries default to zero.
+	same("short bases", MergeFrom(full, []uint64{0}), want)
+
+	// Prune shard 0 below epoch 2 and shard 1 below epoch 3: the merge
+	// must resume at superepoch 4 (the first number every shard can still
+	// contribute to in full) and agree digest-for-digest with the
+	// unpruned merge there.
+	pruned := [][]*core.Epoch{full[0][2:], full[1][3:]}
+	same("pruned suffix", MergeFrom(pruned, []uint64{2, 3}), want[3:])
+}

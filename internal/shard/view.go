@@ -1,8 +1,7 @@
 package shard
 
 import (
-	"encoding/binary"
-
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 )
 
@@ -55,32 +54,75 @@ type View struct {
 	// Histories holds each shard observer's epoch history, indexed by
 	// shard.
 	Histories [][]*core.Epoch
-	// Supers is the merged superepoch sequence, numbered 1..K contiguously
-	// where K is the longest shard history.
+	// Bases holds each shard's pruned-epoch base: shard k's history starts
+	// at epoch Bases[k]+1 (all zero — and possibly nil — when no shard has
+	// pruned).
+	Bases []uint64
+	// Checkpoints holds each shard observer's sealed checkpoint chain
+	// (empty per shard when checkpointing is off). The cross-shard checker
+	// uses it to account for the pruned prefix below Bases.
+	Checkpoints [][]checkpoint.Checkpoint
+	// Supers is the merged superepoch sequence, numbered contiguously from
+	// max(Bases)+1 up to the longest shard history's last epoch (1..K when
+	// nothing is pruned).
 	Supers []*Superepoch
 }
 
-// NewView merges per-shard histories into the superepoch sequence.
+// NewView merges per-shard histories into the superepoch sequence
+// (unpruned: all bases zero).
 func NewView(histories [][]*core.Epoch) *View {
 	return &View{Histories: histories, Supers: Merge(histories)}
+}
+
+// NewPrunedView merges per-shard histories whose settled prefixes may have
+// been pruned below per-shard checkpoint horizons.
+func NewPrunedView(histories [][]*core.Epoch, bases []uint64, cks [][]checkpoint.Checkpoint) *View {
+	return &View{
+		Histories:   histories,
+		Bases:       bases,
+		Checkpoints: cks,
+		Supers:      MergeFrom(histories, bases),
+	}
 }
 
 // Merge builds the superepoch sequence: for i = 1..max(len(history)),
 // superepoch i collects epoch i of every shard that has one, in shard
 // order, and seals the set under a digest.
 func Merge(histories [][]*core.Epoch) []*Superepoch {
-	longest := 0
-	for _, h := range histories {
-		if len(h) > longest {
-			longest = len(h)
+	return MergeFrom(histories, nil)
+}
+
+// MergeFrom is Merge for histories with per-shard pruned-epoch bases:
+// shard k's history[j] is epoch bases[k]+j+1. Superepochs are built for
+// every number above max(bases) — below that, at least one shard's part
+// has been pruned and the prefix is covered by checkpoint digests instead.
+// A nil (or all-zero) bases reproduces Merge bit for bit.
+func MergeFrom(histories [][]*core.Epoch, bases []uint64) []*Superepoch {
+	baseOf := func(k int) uint64 {
+		if k < len(bases) {
+			return bases[k]
+		}
+		return 0
+	}
+	start, longest := uint64(0), uint64(0)
+	for k, h := range histories {
+		b := baseOf(k)
+		if b > start {
+			start = b
+		}
+		if total := b + uint64(len(h)); total > longest {
+			longest = total
 		}
 	}
-	supers := make([]*Superepoch, 0, longest)
-	for i := 0; i < longest; i++ {
-		se := &Superepoch{Number: uint64(i + 1)}
+	if longest < start {
+		longest = start
+	}
+	supers := make([]*Superepoch, 0, longest-start)
+	for i := start + 1; i <= longest; i++ {
+		se := &Superepoch{Number: i}
 		for k, h := range histories {
-			if i < len(h) {
-				se.Parts = append(se.Parts, Part{Shard: k, Epoch: h[i]})
+			if idx := i - baseOf(k); idx >= 1 && idx <= uint64(len(h)) {
+				se.Parts = append(se.Parts, Part{Shard: k, Epoch: h[idx-1]})
 			}
 		}
 		se.Digest = superDigest(se.Number, se.Parts)
@@ -91,28 +133,15 @@ func Merge(histories [][]*core.Epoch) []*Superepoch {
 
 // superDigest hashes a superepoch's identity: its number, then each
 // part's shard index, epoch number and epoch hash, FNV-1a chained in part
-// order. Fixed-width framing keeps the encoding unambiguous.
+// order via the shared checkpoint mixers. Fixed-width framing keeps the
+// encoding unambiguous.
 func superDigest(number uint64, parts []Part) uint64 {
-	h := uint64(fnvOffset)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= fnvPrime
-	}
-	var w [8]byte
-	mixWord := func(v uint64) {
-		binary.LittleEndian.PutUint64(w[:], v)
-		for _, b := range w {
-			mix(b)
-		}
-	}
-	mixWord(number)
+	h := checkpoint.Seed()
+	h = checkpoint.Mix64(h, number)
 	for _, p := range parts {
-		mixWord(uint64(p.Shard))
-		mixWord(p.Epoch.Number)
-		mixWord(uint64(len(p.Epoch.Hash)))
-		for _, b := range p.Epoch.Hash {
-			mix(b)
-		}
+		h = checkpoint.Mix64(h, uint64(p.Shard))
+		h = checkpoint.Mix64(h, p.Epoch.Number)
+		h = checkpoint.MixBytes(h, p.Epoch.Hash)
 	}
 	return h
 }

@@ -366,6 +366,106 @@ func init() {
 	})
 	registerChaos()
 	registerScale()
+	registerSoak()
+}
+
+// soakCell is the base configuration of the soak_* family: a modest,
+// rate-limited Hashchain workload run 10-100x longer than any other entry,
+// with checkpointing + pruning on and a heap ceiling asserted — the
+// experiment is bounded memory and checkpoint recovery, not throughput.
+func soakCell(name string, servers int, rate float64, sendFor, horizon time.Duration, heapMB int) ScenarioSpec {
+	s := hash(100)
+	s.Name = name
+	s.Servers = servers
+	s.Rate = rate
+	s.SendFor = Duration(sendFor)
+	s.Horizon = Duration(horizon)
+	s.CheckpointInterval = 8
+	s.Prune = true
+	s.HeapCeilingMB = heapMB
+	return s
+}
+
+// registerSoak declares the long-horizon soak family (beyond the paper):
+// epoch checkpointing + settled-history pruning (DESIGN.md §11) under the
+// chaos_* fault plans at 10x the catalog's longest horizon, with the live
+// heap asserted under an explicit ceiling and crash recovery going through
+// checkpoint state-sync instead of full replay.
+func registerSoak() {
+	Register(Entry{
+		Name:   "soak_steady",
+		Title:  "One-hour steady-state soak with pruning and a heap ceiling",
+		Figure: "— (beyond the paper)",
+		Description: "Hashchain c=100 on 4 servers at a rate-limited 200 el/s for a " +
+			"3,400 s send window (3,600 s horizon — 10x the catalog's longest run). " +
+			"Every server seals a checkpoint each 8 settled epochs and prunes " +
+			"settled history, ledger blocks and mempool tombstones below it; the " +
+			"end-of-run live heap must stay under 2 GiB. The invariant checker " +
+			"verifies the pruned prefix against the checkpoint digest chain.",
+		Cells: []ScenarioSpec{soakCell("soak-steady", 4, 200,
+			3400*time.Second, 3600*time.Second, 2048)},
+		Refs: []Reference{
+			modelRef(0, MetricAvgTput, 200, 0.05,
+				"rate-limited far below every ceiling: the soak must commit what it is sent"),
+			modelRef(0, MetricEff2x, 1.0, 0.05,
+				"nothing may be lost across ~hundreds of checkpoint seals and prunes"),
+		},
+	})
+	Register(Entry{
+		Name:   "soak_chaos",
+		Title:  "One-hour sharded soak under repeated crash/restart cycles",
+		Figure: "— (beyond the paper)",
+		Description: "Hashchain c=100 on 2 shards of 4 servers (8 nodes, one shared " +
+			"network) at an aggregate 400 el/s for a 3,400 s send window (3,600 s " +
+			"horizon). Servers 3 and 6 crash and restart in three staggered " +
+			"5-minute outages; with pruning on, the restarted server's missing " +
+			"blocks are gone from every peer, so recovery must state-sync the " +
+			"latest checkpoint snapshot and replay only the suffix. Both the " +
+			"per-shard and the cross-shard safety checkers run on the pruned " +
+			"histories, and the live heap must stay under 4 GiB.",
+		Cells: []ScenarioSpec{func() ScenarioSpec {
+			s := soakCell("soak-chaos", 4, 400, 3400*time.Second, 3600*time.Second, 4096)
+			s.Shards = 2
+			s.Faults = &FaultSpec{Events: []FaultEventSpec{
+				{At: Duration(300 * time.Second), Action: FaultCrash, Nodes: []int{3}},
+				{At: Duration(600 * time.Second), Action: FaultRestart, Nodes: []int{3}},
+				{At: Duration(1200 * time.Second), Action: FaultCrash, Nodes: []int{6}},
+				{At: Duration(1500 * time.Second), Action: FaultRestart, Nodes: []int{6}},
+				{At: Duration(2100 * time.Second), Action: FaultCrash, Nodes: []int{3}},
+				{At: Duration(2400 * time.Second), Action: FaultRestart, Nodes: []int{3}},
+			}}
+			return s
+		}()},
+		Refs: []Reference{
+			modelRef(0, MetricEff2x, 1.0, 0.05,
+				"every crash recovers through checkpoint state-sync; everything still commits"),
+			modelRef(0, MetricAvgTput, 400, 0.1,
+				"each crashed shard keeps committing on its 3/4 quorum through the outages"),
+		},
+	})
+	Register(Entry{
+		Name:   "soak_smoke",
+		Title:  "CI-scale soak smoke: pruning + crash recovery + heap ceiling",
+		Figure: "— (beyond the paper)",
+		Description: "The soak family's fast regression cell: Hashchain c=100 on 4 " +
+			"servers at 800 el/s for 60 s, checkpoint every 4 settled epochs with " +
+			"pruning on, one crash/restart of server 3 (down 15-35 s, long enough " +
+			"that its gap is pruned everywhere and recovery must state-sync), and " +
+			"a 1 GiB heap ceiling. Runs in seconds; CI executes it on every push.",
+		Cells: []ScenarioSpec{func() ScenarioSpec {
+			s := soakCell("soak-smoke", 4, 800, 60*time.Second, 120*time.Second, 1024)
+			s.CheckpointInterval = 4
+			s.Faults = &FaultSpec{Events: []FaultEventSpec{
+				{At: Duration(15 * time.Second), Action: FaultCrash, Nodes: []int{3}},
+				{At: Duration(35 * time.Second), Action: FaultRestart, Nodes: []int{3}},
+			}}
+			return s
+		}()},
+		Refs: []Reference{
+			modelRef(0, MetricEff2x, 1.0, 0.05,
+				"the restarted server state-syncs a checkpoint and nothing is lost"),
+		},
+	})
 }
 
 // scaleCell is the base configuration of the scale_* family: one

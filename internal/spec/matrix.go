@@ -117,6 +117,24 @@ func Set(s *ScenarioSpec, key, value string) error {
 			s.Byzantine = &ByzantineSpec{Faulty: 1}
 		}
 		s.Byzantine.InjectCount = v
+	case "checkpoint_interval", "ckpt":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.CheckpointInterval = v
+	case "prune":
+		v, err := strconv.ParseBool(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.Prune = v
+	case "heap_ceiling_mb", "heap":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.HeapCeilingMB = v
 	case "drop":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -147,6 +165,7 @@ var overrideKeys = []string{
 	"name", "group", "algorithm", "collector", "light", "servers", "shards", "rate",
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
+	"checkpoint_interval", "prune", "heap_ceiling_mb",
 	"drop", "duplicate", "reorder",
 }
 

@@ -180,6 +180,23 @@ type ScenarioSpec struct {
 	// Faults schedules network fault injection (crash/restart, partition/
 	// heal, link loss); nil means a fault-free network.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// CheckpointInterval makes every server seal a pruning checkpoint —
+	// epoch number, cumulative element count, chained digest — each time
+	// this many further epochs settle (internal/checkpoint, DESIGN.md §11).
+	// 0 disables checkpointing; runs without it are byte-identical to
+	// pre-checkpoint builds.
+	CheckpointInterval int `json:"checkpoint_interval,omitempty"`
+	// Prune drops settled epoch history, ledger blocks and mempool
+	// tombstones below each sealed checkpoint, bounding memory on long
+	// runs; requires CheckpointInterval > 0. Restarted servers then
+	// recover by state-syncing a peer's latest checkpoint snapshot and
+	// replaying only the suffix.
+	Prune bool `json:"prune,omitempty"`
+	// HeapCeilingMB asserts the process's live heap (after a forced GC at
+	// the end of the run, deployment still reachable) stays at or under
+	// this many MiB — the soak family's bounded-memory check. 0 disables
+	// the measurement.
+	HeapCeilingMB int `json:"heap_ceiling_mb,omitempty"`
 }
 
 // WithDefaults fills the paper's defaults into unset fields. It is
@@ -338,6 +355,15 @@ func (s ScenarioSpec) Validate() error {
 		if err := s.Faults.validate(s.Servers, s.Shards); err != nil {
 			return err
 		}
+	}
+	if s.CheckpointInterval < 0 {
+		return fmt.Errorf("checkpoint_interval must be >= 0, got %d", s.CheckpointInterval)
+	}
+	if s.Prune && s.CheckpointInterval == 0 {
+		return fmt.Errorf("prune requires checkpoint_interval > 0 (pruning drops history below sealed checkpoints)")
+	}
+	if s.HeapCeilingMB < 0 {
+		return fmt.Errorf("heap_ceiling_mb must be >= 0, got %d", s.HeapCeilingMB)
 	}
 	return nil
 }
