@@ -31,6 +31,16 @@ import (
 // artifacts (see setchain-bench runPerf).
 const probeMetric = "virtual_s_per_wall_s"
 
+// Parallel-path probe metrics (setchain-bench's intra-run PDES probe).
+// Baselines committed before the probe existed lack them, so each check
+// applies only when the artifacts involved carry the metric: byte-identity
+// needs only the candidate (it is machine-independent), while the speedup
+// comparison needs both sides measured the same way.
+const (
+	intraIdenticalMetric = "intra_byte_identical"
+	intraSpeedupMetric   = "intra_speedup"
+)
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_pr4.json", "committed baseline artifact")
 	candidate := flag.String("candidate", "", "freshly measured artifact to gate")
@@ -52,7 +62,47 @@ func main() {
 			probeMetric, 100*(1-cand/base), base, cand, 100**maxRegression)
 		os.Exit(1)
 	}
+
+	// Parallel-path gates. Byte-identity is a hard correctness bit: any
+	// candidate that measured the intra-run probe must have matched the
+	// sequential fingerprint. The speedup gate engages only when both
+	// artifacts carry the metric (pre-probe baselines don't).
+	if v, ok := perfMetric(*candidate, intraIdenticalMetric); ok && v != 1 {
+		fmt.Fprintf(os.Stderr,
+			"benchgate: FAIL — %s: IntraWorkers changed the run's fingerprint (%s = %v)\n",
+			*candidate, intraIdenticalMetric, v)
+		os.Exit(1)
+	}
+	baseSpeed, okBase := perfMetric(*baseline, intraSpeedupMetric)
+	candSpeed, okCand := perfMetric(*candidate, intraSpeedupMetric)
+	if okBase && okCand {
+		speedFloor := baseSpeed * (1 - *maxRegression)
+		fmt.Printf("benchgate: %s %s=%.2f, %s %s=%.2f, floor %.2f\n",
+			*baseline, intraSpeedupMetric, baseSpeed, *candidate, intraSpeedupMetric, candSpeed, speedFloor)
+		if candSpeed < speedFloor {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: FAIL — %s regressed %.1f%% (%.2fx -> %.2fx; allowed %.0f%%)\n",
+				intraSpeedupMetric, 100*(1-candSpeed/baseSpeed), baseSpeed, candSpeed, 100**maxRegression)
+			os.Exit(1)
+		}
+	}
 	fmt.Println("benchgate: PASS")
+}
+
+// perfMetric loads an artifact and looks up one perf-experiment metric,
+// reporting whether it was recorded at all.
+func perfMetric(path string, name string) (float64, bool) {
+	a, err := report.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	exp, ok := a.Experiment("perf")
+	if !ok {
+		return 0, false
+	}
+	v, ok := exp.Metrics[name]
+	return v, ok
 }
 
 // probeValue loads an artifact and extracts the perf experiment's probe

@@ -59,9 +59,11 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -517,6 +519,50 @@ func runPerf(scale float64) {
 	}
 	fmt.Printf("%d-cell sweep on %d workers: %.3f wall s (%.2fx vs serial estimate)\n",
 		sweepCells, harness.Workers(), sweepWall, sweepCells*wall/sweepWall)
+
+	// Intra-run parallel PDES probe (DESIGN.md §12): the S=8 scale_tput
+	// cell — eight shards, so eight partition queues — at IntraWorkers 1
+	// versus NumCPU inside ONE run. Byte-identity of the two fingerprints
+	// is machine-independent and gated by benchgate on every artifact that
+	// records it; the speedup depends on real cores and is recorded for
+	// the perf trajectory only on multi-core hosts (with one core both
+	// runs are IW=1 and the ratio is noise).
+	cells, err := harness.EntryScenarios("scale_tput", scale)
+	if err != nil || len(cells) < 4 {
+		fmt.Fprintf(os.Stderr, "intra probe: scale_tput cells unavailable: %v\n", err)
+		return
+	}
+	psc := cells[3] // S=8
+	psc.IntraWorkers = 1
+	start = time.Now()
+	seq := harness.Run(psc)
+	seqWall := time.Since(start).Seconds()
+	iw := runtime.NumCPU()
+	psc.IntraWorkers = iw
+	start = time.Now()
+	par := harness.Run(psc)
+	parWall := time.Since(start).Seconds()
+	identical := bytes.Equal(harness.Fingerprint(seq), harness.Fingerprint(par))
+	recordMetric("intra_workers", float64(iw))
+	if identical {
+		recordMetric("intra_byte_identical", 1)
+	} else {
+		recordMetric("intra_byte_identical", 0)
+	}
+	recordMetric("intra_wall_iw1_s", seqWall)
+	recordMetric("intra_wall_iwn_s", parWall)
+	// With one core both runs use IW=1 and the ratio is pure timer noise;
+	// recording it would bake a meaningless floor into the committed
+	// baseline and flap benchgate's speedup comparison on the next one.
+	if iw > 1 && parWall > 0 {
+		recordMetric("intra_speedup", seqWall/parWall)
+	}
+	fmt.Printf("intra-run PDES probe (%s, S=8): IW=1 %.3f s, IW=%d %.3f s, speedup %.2fx, byte-identical=%v\n",
+		psc.Name, seqWall, iw, parWall, seqWall/parWall, identical)
+	if !identical {
+		fmt.Fprintln(os.Stderr, "intra probe: IntraWorkers changed the result — the PDES equivalence contract is broken")
+		os.Exit(1)
+	}
 }
 
 func runTable1(float64) {

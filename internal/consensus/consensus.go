@@ -997,7 +997,12 @@ func (n *Node) handleSyncResponse(resp *SyncResponse) {
 
 func (n *Node) commit(p *Proposal) {
 	n.decided = true
-	block := p.Block
+	// Copy the block header before stamping the local commit time: the
+	// proposal is a shared broadcast payload (read-only by convention), and
+	// in partitioned runs other nodes commit it concurrently. Txs stay
+	// shared — they are never mutated.
+	blk := *p.Block
+	block := &blk
 	block.Time = int64(n.sim.Now())
 	n.chain = append(n.chain, block)
 	n.totalTxBytes += uint64(block.Bytes)

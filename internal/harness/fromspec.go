@@ -50,6 +50,7 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		Spec:               AlgSpec{Alg: alg, Collector: sp.Collector, Light: sp.Light},
 		Servers:            sp.Servers,
 		Shards:             sp.Shards,
+		IntraWorkers:       sp.IntraWorkers,
 		Rate:               sp.Rate,
 		SendFor:            sp.SendFor.Std(),
 		Horizon:            sp.Horizon.Std(),

@@ -102,6 +102,15 @@ type Scenario struct {
 	// aggregate across all shards (internal/shard, DESIGN.md §10). 0 or 1
 	// runs the classic single instance.
 	Shards int
+	// IntraWorkers runs the scenario's own event population on this many
+	// concurrent workers via lookahead-bounded partitioned execution
+	// (DESIGN.md §12): one partition per server node single-instance, one
+	// per shard when Shards > 1. Results are byte-identical to the
+	// sequential schedule — this knob may only change wall-clock time.
+	// 0 or 1 runs exactly today's single-queue path; configurations the
+	// partitioned executor cannot preserve bit-for-bit (LevelStages
+	// metrics, Hashchain Light's shared store) silently degrade to it.
+	IntraWorkers int
 	// Mode selects crypto fidelity: Modeled (default, the evaluation) or
 	// Full (real ed25519/SHA-512/Deflate over real payloads).
 	Mode core.Mode
@@ -284,13 +293,35 @@ func runScenario(sc Scenario) *Result {
 	if sc.Shards > 1 {
 		return runShardedScenario(sc)
 	}
-	s := sim.New(sc.Seed)
 	n := sc.Servers
 	opts, lcfg := deployConfig(sc)
-	rec := metrics.New(s, sc.Level, n, opts.F, 0)
+
+	// Partitioned execution (IntraWorkers > 1): every server node owns its
+	// own event queue, advanced concurrently in lookahead-bounded rounds;
+	// client injection, fault plans and the drain run on the home queue at
+	// round barriers. Byte-identical to the sequential path (DESIGN.md §12).
+	var world *sim.World
+	var s *sim.Simulator
+	if iw := effectiveIntraWorkers(sc, opts); iw > 1 {
+		world, lcfg.SimFor = newIntraWorld(sc.Seed, n, iw, func(id wire.NodeID) int { return int(id) })
+		s = world.Home()
+	} else {
+		s = sim.New(sc.Seed)
+	}
+	var engine runner = s
+	recSim := s
+	if world != nil {
+		engine = world
+		recSim = world.Part(0) // the observer's partition clock
+	}
+
+	rec := metrics.New(recSim, sc.Level, n, opts.F, 0)
 	d := core.Deploy(s, n, lcfg, opts, rec)
 	applyByzantine(d, sc.Byzantine)
 	sc.Faults.Scaled(sc.Scale).Install(s, d.Ledger.Net)
+	if world != nil {
+		world.SetLookahead(d.Ledger.Net.Lookahead)
+	}
 
 	gen := workload.New(d, rec, workload.Config{
 		Rate:         sc.Rate,
@@ -302,7 +333,7 @@ func runScenario(sc Scenario) *Result {
 	})
 	d.Start()
 	gen.Start()
-	s.RunUntil(sc.Horizon)
+	engine.RunUntil(sc.Horizon)
 	d.Stop()
 
 	res := &Result{
@@ -317,7 +348,7 @@ func runScenario(sc Scenario) *Result {
 		CommitFrac: make(map[int]time.Duration),
 		Analytical: sc.Spec.AnalyticalThroughput(n),
 		Blocks:     int(d.Ledger.Nodes[0].Cons.HeightCommitted()),
-		Events:     s.Executed(),
+		Events:     engine.Executed(),
 		Recorder:   rec,
 	}
 	fracs := map[int]float64{0: 0, 10: 0.10, 20: 0.20, 30: 0.30, 40: 0.40, 50: 0.50}

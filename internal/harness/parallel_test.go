@@ -1,40 +1,16 @@
 package harness
 
 import (
-	"encoding/json"
 	"testing"
 	"time"
 )
 
-// resultFingerprint serializes everything a study consumes from a Result
-// (pointers and the Recorder excluded) so runs can be compared bytewise.
+// resultFingerprint delegates to the production Fingerprint (which the
+// intra-run PDES probe in cmd/setchain-bench also uses), keeping one
+// definition of the byte-identity contract.
 func resultFingerprint(t *testing.T, res *Result) []byte {
 	t.Helper()
-	b, err := json.Marshal(struct {
-		Scenario   Scenario
-		Injected   uint64
-		Committed  uint64
-		Eff50      float64
-		Eff75      float64
-		Eff100     float64
-		AvgTput    float64
-		Series     any
-		CommitFrac map[int]time.Duration
-		Analytical float64
-		Blocks     int
-		Events     uint64
-		// Checkpoint counters are deterministic and belong in the
-		// byte-identity contract; the heap measurement is host-dependent
-		// and deliberately excluded.
-		CheckpointSeals uint64
-		SyncInstalls    uint64
-	}{res.Scenario, res.Injected, res.Committed, res.Eff50, res.Eff75,
-		res.Eff100, res.AvgTput, res.Series, res.CommitFrac, res.Analytical,
-		res.Blocks, res.Events, res.CheckpointSeals, res.SyncInstalls})
-	if err != nil {
-		t.Fatalf("marshal result: %v", err)
-	}
-	return b
+	return Fingerprint(res)
 }
 
 // The parallel executor must yield byte-identical results to the

@@ -21,10 +21,30 @@ import (
 // runShardedScenario executes one sharded scenario. sc is already
 // defaulted; Rate/SendFor carry the scale.
 func runShardedScenario(sc Scenario) *Result {
-	s := sim.New(sc.Seed)
 	n := sc.Servers
 	opts, lcfg := deployConfig(sc)
+
+	// Partitioned execution (IntraWorkers > 1): one partition per shard —
+	// shards interact only through the shared fabric, whose minimum
+	// cross-shard link delay bounds each round (DESIGN.md §12).
+	var world *sim.World
+	var s *sim.Simulator
+	if iw := effectiveIntraWorkers(sc, opts); iw > 1 {
+		world, lcfg.SimFor = newIntraWorld(sc.Seed, sc.Shards, iw,
+			func(id wire.NodeID) int { return int(id) / n })
+		s = world.Home()
+	} else {
+		s = sim.New(sc.Seed)
+	}
+	var engine runner = s
+	if world != nil {
+		engine = world
+	}
+
 	d := shard.Deploy(s, sc.Shards, n, lcfg, opts, sc.Level)
+	if world != nil {
+		world.SetLookahead(d.Net.Lookahead)
+	}
 	for _, sd := range d.Shards {
 		// The highest-indexed servers of EVERY shard misbehave; each
 		// shard's observer (its first server) stays correct, mirroring the
@@ -45,7 +65,7 @@ func runShardedScenario(sc Scenario) *Result {
 	})
 	d.Start()
 	gen.Start()
-	s.RunUntil(sc.Horizon)
+	engine.RunUntil(sc.Horizon)
 	d.Stop()
 
 	res := &Result{
@@ -54,7 +74,7 @@ func runShardedScenario(sc Scenario) *Result {
 		// Shards are independent instances, so the Appendix D model value
 		// for the aggregate is S times the per-instance one.
 		Analytical: sc.Spec.AnalyticalThroughput(n) * float64(sc.Shards),
-		Events:     s.Executed(),
+		Events:     engine.Executed(),
 	}
 
 	// Aggregate the per-shard recorders. Totals and checkpoint counts sum;

@@ -1,27 +1,16 @@
 package harness
 
 import (
-	"encoding/json"
 	"testing"
 
 	"repro/internal/spec"
 )
 
-// shardedFingerprint extends resultFingerprint with the sharded run's
-// extra determinism surface: per-shard summaries and the cross-shard
-// superepoch digest sequence.
+// shardedFingerprint delegates to the production Fingerprint, which covers
+// the sharded fields (per-shard summaries, superepoch digests) as well.
 func shardedFingerprint(t *testing.T, res *Result) []byte {
 	t.Helper()
-	extra, err := json.Marshal(struct {
-		Base      json.RawMessage
-		PerShard  any
-		SuperSeq  []uint64
-		Invariant bool
-	}{resultFingerprint(t, res), res.PerShard, res.SuperDigests, res.Invariant != nil})
-	if err != nil {
-		t.Fatalf("marshal sharded result: %v", err)
-	}
-	return extra
+	return Fingerprint(res)
 }
 
 // scaleCells expands the scale_* registry families at a reduced scale.

@@ -180,9 +180,13 @@ func pairSum(b []uint64) []uint64 {
 	return out
 }
 
-// Injected records a client creating an element.
+// Injected records a client creating an element. The timestamp comes from
+// the element itself (stamped by workload.BuildElement at creation, always
+// the instant Injected is called) rather than r.sim.Now(): in a partitioned
+// run injection happens on the home queue while r.sim is the observer's
+// partition clock, which may lag the barrier time.
 func (r *Recorder) Injected(e *wire.Element) {
-	now := r.sim.Now()
+	now := time.Duration(e.InjectedAt)
 	r.totalInj++
 	r.bucket(&r.injected, now)
 	if r.level >= LevelStages {

@@ -15,6 +15,14 @@ func elem(i int) *wire.Element {
 	return e
 }
 
+// elemAt stamps the injection time the way workload.BuildElement does;
+// Injected buckets by the element's own timestamp (see Recorder.Injected).
+func elemAt(i int, at time.Duration) *wire.Element {
+	e := elem(i)
+	e.InjectedAt = int64(at)
+	return e
+}
+
 func TestCommitRequiresQuorumProofs(t *testing.T) {
 	s := sim.New(1)
 	r := New(s, LevelThroughput, 4, 1, 0) // f=1: commit needs 2 proofs
@@ -298,7 +306,7 @@ func TestBucketBudgetCoarsens(t *testing.T) {
 	const events = 16
 	for i := 0; i < events; i++ {
 		at := time.Duration(i)*time.Second + 500*time.Millisecond
-		s.After(at, func() { r.Injected(elem(i)) })
+		s.After(at, func() { r.Injected(elemAt(i, at)) })
 	}
 	s.Run()
 	// 16 one-second buckets under a budget of 4 force two doublings.
@@ -324,7 +332,7 @@ func TestBucketBudgetZeroDisablesCoarsening(t *testing.T) {
 	s := sim.New(1)
 	r := New(s, LevelThroughput, 4, 1, 0)
 	r.SetBucketBudget(0)
-	s.After(5000*time.Second, func() { r.Injected(elem(1)) })
+	s.After(5000*time.Second, func() { r.Injected(elemAt(1, 5000*time.Second)) })
 	s.Run()
 	if r.BucketWidth() != time.Second {
 		t.Fatalf("BucketWidth = %v with budget 0, want 1s", r.BucketWidth())

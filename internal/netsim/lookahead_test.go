@@ -1,0 +1,139 @@
+package netsim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// minRealizableCrossDelay computes, from first principles, the smallest
+// propagation delay any message crossing partition boundaries can
+// experience on the given network: for each ordered cross-partition pair,
+// BaseLatency + ExtraDelay + that link's LinkFault.ExtraDelay. Jitter,
+// reordering, and duplication only ever add delay, and egress queueing
+// delays the grant (the send), not the flight — so this is the exact floor
+// the PDES window must respect.
+func minRealizableCrossDelay(n *Network) (time.Duration, bool) {
+	min := time.Duration(0)
+	found := false
+	for _, u := range n.nodes {
+		for _, v := range n.nodes {
+			if u.sim == v.sim {
+				continue
+			}
+			d := n.cfg.BaseLatency + n.cfg.ExtraDelay
+			if n.faults != nil {
+				d += n.faults.Link(u.id, v.id).ExtraDelay
+			}
+			if !found || d < min {
+				min = d
+				found = true
+			}
+		}
+	}
+	return min, found
+}
+
+func checkLookaheadSafe(t *testing.T, n *Network) {
+	t.Helper()
+	got := n.Lookahead()
+	floor, cross := minRealizableCrossDelay(n)
+	if !cross {
+		return // no cross-partition traffic: any window is safe
+	}
+	if got <= 0 {
+		t.Fatalf("Lookahead() = %v with cross-partition links; a round needs a positive window", got)
+	}
+	if got > floor {
+		t.Fatalf("Lookahead() = %v exceeds the minimum realizable cross-partition delay %v: a message could arrive inside the window", got, floor)
+	}
+}
+
+// FuzzLookahead drives random topologies, partition assignments, and link
+// fault schedules through the cached lookahead and checks the PDES safety
+// property after every mutation: the window never exceeds any realizable
+// cross-partition delivery delay. Lowering a single link's extra delay must
+// show up immediately (cache invalidation), or a partition could run past
+// an in-flight message.
+func FuzzLookahead(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Add(int64(123456789))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		root := sim.New(seed)
+		parts := 1 + rng.Intn(4)
+		sims := make([]*sim.Simulator, parts)
+		w := sim.NewWorld(seed, parts, 1)
+		for i := range sims {
+			sims[i] = w.Part(i)
+		}
+		cfg := Config{
+			BaseLatency: time.Duration(1+rng.Intn(1000)) * time.Microsecond,
+			ExtraDelay:  time.Duration(rng.Intn(3)) * 10 * time.Millisecond,
+			Jitter:      time.Duration(rng.Intn(2)) * 100 * time.Microsecond,
+		}
+		n := New(root, cfg)
+		nodes := 2 + rng.Intn(8)
+		assign := make(map[wire.NodeID]int, nodes)
+		for id := 0; id < nodes; id++ {
+			assign[wire.NodeID(id)] = rng.Intn(parts)
+		}
+		n.SetSimResolver(func(id wire.NodeID) *sim.Simulator { return sims[assign[id]] })
+		for id := 0; id < nodes; id++ {
+			n.AddNode(wire.NodeID(id), nil)
+		}
+		checkLookaheadSafe(t, n)
+
+		// A schedule of random link mutations; every step must keep the
+		// window at or below the new floor.
+		for step := 0; step < 20; step++ {
+			from := wire.NodeID(rng.Intn(nodes))
+			to := wire.NodeID(rng.Intn(nodes))
+			var lf LinkFault
+			switch rng.Intn(3) {
+			case 0: // add or raise a delay spike
+				lf.ExtraDelay = time.Duration(1+rng.Intn(50)) * time.Millisecond
+			case 1: // clear the link entirely — the floor may DROP
+				lf = LinkFault{}
+			case 2: // delay plus lossiness; probabilities never lower delay
+				lf.ExtraDelay = time.Duration(rng.Intn(10)) * time.Millisecond
+				lf.Drop = rng.Float64() * 0.3
+				lf.Reorder = rng.Float64() * 0.3
+			}
+			n.Faults().SetLink(from, to, lf)
+			checkLookaheadSafe(t, n)
+		}
+
+		// Covering EVERY cross link with a spike may raise the window; it
+		// must still respect the floor, and wiping one link must bring it
+		// straight back down (the classic stale-cache bug).
+		spike := time.Duration(1+rng.Intn(20)) * time.Millisecond
+		var crossPairs [][2]wire.NodeID
+		for a := 0; a < nodes; a++ {
+			for b := 0; b < nodes; b++ {
+				if assign[wire.NodeID(a)] != assign[wire.NodeID(b)] {
+					crossPairs = append(crossPairs, [2]wire.NodeID{wire.NodeID(a), wire.NodeID(b)})
+					n.Faults().SetLink(wire.NodeID(a), wire.NodeID(b), LinkFault{ExtraDelay: spike})
+				}
+			}
+		}
+		checkLookaheadSafe(t, n)
+		if len(crossPairs) > 0 {
+			raised := n.Lookahead()
+			if want := cfg.BaseLatency + cfg.ExtraDelay + spike; raised != want {
+				t.Fatalf("fully covered links: Lookahead() = %v, want base+extra+spike = %v", raised, want)
+			}
+			drop := crossPairs[rng.Intn(len(crossPairs))]
+			n.Faults().SetLink(drop[0], drop[1], LinkFault{})
+			checkLookaheadSafe(t, n)
+			if got, want := n.Lookahead(), cfg.BaseLatency+cfg.ExtraDelay; got != want {
+				t.Fatalf("after clearing one covered link: Lookahead() = %v, want base %v (stale cache?)", got, want)
+			}
+		}
+	})
+}

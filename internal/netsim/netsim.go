@@ -20,6 +20,8 @@ package netsim
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"time"
 
 	"repro/internal/sim"
@@ -63,26 +65,66 @@ type Network struct {
 	nodes  map[wire.NodeID]*node
 	faults *Faults // lazily created by Faults(); nil until any fault exists
 
-	// Stats.
-	messages  uint64
-	bytesSent uint64
+	// simFor maps a node to the simulator (partition) that owns it. nil
+	// means every node runs on the root simulator (the sequential path).
+	simFor func(wire.NodeID) *sim.Simulator
+
+	// Cached conservative lookahead window for partitioned execution;
+	// invalidated whenever topology or link delays change (AddNode,
+	// SetSimResolver, Faults.SetLink).
+	lookahead      time.Duration
+	lookaheadValid bool
 }
 
 type node struct {
 	id      wire.NodeID
 	handler Handler
 	egress  *sim.Resource
+	// sim is the simulator (partition) owning this node: all of its sends,
+	// deliveries, and egress grants execute as events on this queue.
+	sim *sim.Simulator
+	// rng is the node's private random stream, seeded from
+	// sim.ChildSeed(rootSeed, id). Link-fault and jitter draws for messages
+	// this node SENDS come from here, so the draw sequence depends only on
+	// the node's own event order — identical whether the run is sequential
+	// or partitioned, and whatever the worker interleaving.
+	rng *rand.Rand
 	// down caches whether any fault cause currently holds the node down;
 	// only Faults.SetDown writes it (single fault-state owner).
 	down bool
 
-	bytesOut uint64
-	msgsOut  uint64
+	// Per-node stats, attributed to the sending node so concurrent
+	// partitions never share a counter; network totals are summed on read.
+	bytesOut   uint64
+	msgsOut    uint64
+	dropped    uint64
+	duplicated uint64
+	reordered  uint64
 }
 
 // New creates an empty network on the given simulator.
 func New(s *sim.Simulator, cfg Config) *Network {
 	return &Network{sim: s, cfg: cfg, nodes: make(map[wire.NodeID]*node)}
+}
+
+// SetSimResolver installs the node→partition mapping for partitioned runs.
+// It must be called before any AddNode; nodes the resolver maps to nil run
+// on the root simulator.
+func (n *Network) SetSimResolver(f func(wire.NodeID) *sim.Simulator) {
+	if len(n.nodes) > 0 {
+		panic("netsim: SetSimResolver after AddNode")
+	}
+	n.simFor = f
+	n.lookaheadValid = false
+}
+
+func (n *Network) simOf(id wire.NodeID) *sim.Simulator {
+	if n.simFor != nil {
+		if s := n.simFor(id); s != nil {
+			return s
+		}
+	}
+	return n.sim
 }
 
 // AddNode registers a node and its delivery handler. Registering an id
@@ -92,11 +134,15 @@ func (n *Network) AddNode(id wire.NodeID, h Handler) {
 		existing.handler = h
 		return
 	}
+	ns := n.simOf(id)
 	n.nodes[id] = &node{
 		id:      id,
 		handler: h,
-		egress:  n.sim.NewResource(fmt.Sprintf("egress-%d", id)),
+		sim:     ns,
+		rng:     sim.ChildRand(ns.Seed(), uint64(id)),
+		egress:  ns.NewResource(fmt.Sprintf("egress-%d", id)),
 	}
+	n.lookaheadValid = false
 }
 
 // SetDown marks a node as crashed: it neither sends nor receives. It is a
@@ -141,43 +187,42 @@ func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
 	if src.down {
 		return // crashed nodes emit nothing
 	}
-	n.messages++
-	n.bytesSent += uint64(size)
 	src.msgsOut++
 	src.bytesOut += uint64(size)
 
 	if from == to {
-		n.sim.After(time.Microsecond, func() { n.deliver(src.id, dst, payload, size) })
+		src.sim.After(time.Microsecond, func() { n.deliver(src.id, dst, payload, size) })
 		return
 	}
 
-	// Link faults. All probability draws happen here, at send time, in
-	// event order, so runs stay deterministic per seed; a run with no fault
-	// state installed draws exactly the random values it always did.
+	// Link faults. All probability draws happen here, at send time, from the
+	// SENDER's private random stream, so the draw sequence depends only on
+	// the sender's own event order — deterministic per seed and identical
+	// across IntraWorkers settings (DESIGN.md §12).
 	var lf LinkFault
 	if n.faults != nil && n.faults.linkActive() {
 		if n.faults.Blocked(from, to) {
-			n.faults.dropped++
+			src.dropped++
 			return
 		}
 		lf = n.faults.Link(from, to)
-		if lf.Drop > 0 && n.sim.Rand().Float64() < lf.Drop {
-			n.faults.dropped++
+		if lf.Drop > 0 && src.rng.Float64() < lf.Drop {
+			src.dropped++
 			return
 		}
 	}
 
 	prop := n.cfg.BaseLatency + n.cfg.ExtraDelay + lf.ExtraDelay
 	if n.cfg.Jitter > 0 {
-		prop += time.Duration(n.sim.Rand().Int63n(int64(n.cfg.Jitter)))
+		prop += time.Duration(src.rng.Int63n(int64(n.cfg.Jitter)))
 	}
-	if lf.Reorder > 0 && n.sim.Rand().Float64() < lf.Reorder {
-		n.faults.reordered++
+	if lf.Reorder > 0 && src.rng.Float64() < lf.Reorder {
+		src.reordered++
 		if lf.ReorderDelay > 0 {
-			prop += time.Duration(n.sim.Rand().Int63n(int64(lf.ReorderDelay)))
+			prop += time.Duration(src.rng.Int63n(int64(lf.ReorderDelay)))
 		}
 	}
-	dup := lf.Duplicate > 0 && n.sim.Rand().Float64() < lf.Duplicate
+	dup := lf.Duplicate > 0 && src.rng.Float64() < lf.Duplicate
 	var txTime time.Duration
 	if n.cfg.Bandwidth > 0 {
 		txTime = time.Duration(float64(size) / n.cfg.Bandwidth * float64(time.Second))
@@ -185,12 +230,27 @@ func (n *Network) Send(from, to wire.NodeID, payload any, size int) {
 	// The sender's egress serializes transmissions; propagation then runs
 	// concurrently with later transmissions.
 	src.egress.Submit(txTime, func() {
-		n.sim.After(prop, func() { n.deliver(src.id, dst, payload, size) })
 		if dup {
-			n.faults.duplicated++
-			n.sim.After(prop+n.cfg.BaseLatency, func() { n.deliver(src.id, dst, payload, size) })
+			src.duplicated++
+		}
+		n.propagate(src, dst, prop, payload, size)
+		if dup {
+			n.propagate(src, dst, prop+n.cfg.BaseLatency, payload, size)
 		}
 	})
+}
+
+// propagate schedules delivery prop after the egress grant. When source and
+// destination live on different partitions the delivery crosses queues via
+// the destination's inbox; prop includes the cross-partition link floor
+// (BaseLatency + ExtraDelay + LinkFault.ExtraDelay), which is what makes
+// the Lookahead window safe.
+func (n *Network) propagate(src, dst *node, prop time.Duration, payload any, size int) {
+	if src.sim == dst.sim {
+		src.sim.After(prop, func() { n.deliver(src.id, dst, payload, size) })
+		return
+	}
+	src.sim.SendCross(dst.sim, src.sim.Now()+prop, func() { n.deliver(src.id, dst, payload, size) })
 }
 
 func (n *Network) deliver(from wire.NodeID, dst *node, payload any, size int) {
@@ -210,10 +270,77 @@ func (n *Network) Broadcast(from wire.NodeID, payload any, size int) {
 }
 
 // Messages returns the total number of messages sent.
-func (n *Network) Messages() uint64 { return n.messages }
+func (n *Network) Messages() uint64 {
+	var total uint64
+	for _, nd := range n.nodes {
+		total += nd.msgsOut
+	}
+	return total
+}
 
 // BytesSent returns the total bytes placed on the network.
-func (n *Network) BytesSent() uint64 { return n.bytesSent }
+func (n *Network) BytesSent() uint64 {
+	var total uint64
+	for _, nd := range n.nodes {
+		total += nd.bytesOut
+	}
+	return total
+}
+
+// Lookahead returns the conservative PDES window: a lower bound on the
+// propagation delay of any message that crosses partition boundaries. A
+// partition may execute all events below min(other clocks) + Lookahead
+// without missing an incoming message. The value is BaseLatency +
+// ExtraDelay, raised by the minimum LinkFault.ExtraDelay only when EVERY
+// cross-partition directed link carries one (a single uncovered link pins
+// the floor at the base). Jitter, reordering, and duplication only ever add
+// delay, and egress queueing only delays the grant, so the floor is safe.
+//
+// The value is cached; AddNode, SetSimResolver, and Faults.SetLink
+// invalidate it. Fault-plan events apply link changes and invalidate in the
+// same sim event (see faults.go), and the World re-reads Lookahead every
+// round, so a delay change is honored from the next round on.
+func (n *Network) Lookahead() time.Duration {
+	if !n.lookaheadValid {
+		n.lookahead = n.computeLookahead()
+		n.lookaheadValid = true
+	}
+	return n.lookahead
+}
+
+func (n *Network) computeLookahead() time.Duration {
+	cross := 0
+	for _, u := range n.nodes {
+		for _, v := range n.nodes {
+			if u.sim != v.sim {
+				cross++
+			}
+		}
+	}
+	if cross == 0 {
+		// All nodes share one queue: no message ever crosses partitions.
+		return time.Duration(math.MaxInt64)
+	}
+	base := n.cfg.BaseLatency + n.cfg.ExtraDelay
+	covered := 0
+	minExtra := time.Duration(math.MaxInt64)
+	if n.faults != nil {
+		for k, lf := range n.faults.links {
+			u, okU := n.nodes[k.from]
+			v, okV := n.nodes[k.to]
+			if okU && okV && u.sim != v.sim && lf.ExtraDelay > 0 {
+				covered++
+				if lf.ExtraDelay < minExtra {
+					minExtra = lf.ExtraDelay
+				}
+			}
+		}
+	}
+	if covered == cross {
+		base += minExtra
+	}
+	return base
+}
 
 // NodeBytesOut returns the egress byte count for one node.
 func (n *Network) NodeBytesOut(id wire.NodeID) uint64 {

@@ -75,9 +75,22 @@ func Deploy(s *sim.Simulator, shards, servers int, lcfg ledger.Config, opts core
 		Net:     netsim.New(s, lcfg.Net),
 		Servers: servers,
 	}
+	// Partitioned runs (harness IntraWorkers > 1) give every shard its own
+	// event queue: the resolver maps shard k's node ids to partition k. The
+	// shared fabric then routes cross-shard traffic through partition
+	// inboxes, and each shard's recorder lives on its observer's queue.
+	if lcfg.SimFor != nil {
+		d.Net.SetSimResolver(lcfg.SimFor)
+	}
 	f := (servers - 1) / 2
 	for k := 0; k < shards; k++ {
-		rec := metrics.New(s, level, servers, f, d.Observer(k))
+		rsim := s
+		if lcfg.SimFor != nil {
+			if ps := lcfg.SimFor(d.Observer(k)); ps != nil {
+				rsim = ps
+			}
+		}
+		rec := metrics.New(rsim, level, servers, f, d.Observer(k))
 		cfg := lcfg
 		cfg.Network = d.Net
 		cfg.FirstID = d.Observer(k)

@@ -23,6 +23,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -32,13 +33,40 @@ type Simulator struct {
 	heap   []heapEntry // 4-ary min-heap ordered by (at, seq)
 	nodes  []eventNode // slab of event state, indexed by slot
 	free   []int32     // recycled slots
-	seq    uint64
+	seq    uint64      // standalone: next-seq counter; in a World: per-round creation count (see nextSeq)
 	rng    *rand.Rand
+	seed   int64
 	halted bool
 
 	// Executed counts events run since creation; useful for budget checks
 	// and for asserting determinism across runs.
 	executed uint64
+
+	// Partition identity when this simulator is one partition of a World
+	// (world.go). pidx is -1 for standalone simulators and the World's home
+	// queue. crossSeq numbers this partition's outgoing cross-partition
+	// events so inbox merges have a deterministic per-source order.
+	world    *World
+	pidx     int
+	crossSeq uint64
+
+	// inbox holds cross-partition events sent to this partition during a
+	// round. It is the ONLY concurrently touched state of a Simulator:
+	// source partitions append under the mutex while this partition runs,
+	// and the World drains it into the heap at the next round barrier.
+	inboxMu sync.Mutex
+	inbox   []inboxEntry
+}
+
+// inboxEntry is one cross-partition event awaiting the round barrier.
+// (srcPart, srcSeq) is the deterministic merge key: srcSeq is assigned in
+// the source partition's execution order, which does not depend on how
+// partitions are scheduled onto workers.
+type inboxEntry struct {
+	at      time.Duration
+	srcPart int
+	srcSeq  uint64
+	fn      func()
 }
 
 // heapEntry is one queue position. Keeping the ordering key inline (rather
@@ -101,8 +129,14 @@ func (e Event) Scheduled() bool {
 
 // New creates a simulator whose random stream is derived from seed.
 func New(seed int64) *Simulator {
-	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+	return &Simulator{rng: rand.New(rand.NewSource(seed)), seed: seed, pidx: -1}
 }
+
+// Seed returns the seed the simulator (or its World) was created with.
+// Components that need their own decorrelated random streams (e.g. the
+// per-node streams in netsim) derive them from this value so the streams
+// are identical whether or not the run is partitioned.
+func (s *Simulator) Seed() int64 { return s.seed }
 
 // Now returns the current virtual time.
 func (s *Simulator) Now() time.Duration { return s.now }
@@ -124,7 +158,7 @@ func (s *Simulator) At(t time.Duration, fn func()) Event {
 	if t < s.now {
 		t = s.now
 	}
-	s.seq++
+	seq := s.nextSeq()
 	var slot int32
 	if n := len(s.free); n > 0 {
 		slot = s.free[n-1]
@@ -137,9 +171,33 @@ func (s *Simulator) At(t time.Duration, fn func()) Event {
 	n.fn = fn
 	n.at = t
 	n.heapIdx = int32(len(s.heap))
-	s.heap = append(s.heap, heapEntry{at: t, seq: s.seq, slot: slot})
+	s.heap = append(s.heap, heapEntry{at: t, seq: seq, slot: slot})
 	s.siftUp(len(s.heap) - 1)
 	return Event{s: s, at: t, slot: slot, gen: n.gen}
+}
+
+// nextSeq allocates the event's position in the (at, seq) total order. A
+// standalone simulator numbers from its own counter. Simulators belonging
+// to a World share ONE counter, so an event created later in the run's
+// sequential order sorts later at timestamp ties no matter which queue it
+// lands on — this is what makes a barrier's merged execution byte-identical
+// to the single-queue schedule. During a concurrent round each partition
+// allocates from a private window above the shared base (base + its own
+// creation count); the values are deterministic because each partition's
+// creation order is, and windows of different partitions may overlap only
+// for events that never share a queue (the barrier merge breaks the
+// residual cross-queue tie by partition index).
+func (s *Simulator) nextSeq() uint64 {
+	if w := s.world; w != nil {
+		if w.inRound {
+			s.seq++
+			return w.seqBase + s.seq
+		}
+		w.seqBase++
+		return w.seqBase
+	}
+	s.seq++
+	return s.seq
 }
 
 // After schedules fn d from now. Negative d behaves like d == 0.
@@ -273,4 +331,60 @@ func (s *Simulator) removeAt(i int) {
 
 func (s *Simulator) int32HeapIdx(slot int32) int {
 	return int(s.nodes[slot].heapIdx)
+}
+
+// --- partitioned execution (see world.go) ---
+
+// Partition returns the index of this simulator within its World, or -1 for
+// standalone simulators and a World's home queue.
+func (s *Simulator) Partition() int { return s.pidx }
+
+// SendCross schedules fn at absolute time at on the destination partition's
+// queue. It must be called from an event executing on s (the source
+// partition); the destination only sees the event after the next round
+// barrier, which is safe as long as at is at least the World's lookahead
+// ahead of the source clock — the caller (netsim) guarantees that by
+// construction, since at includes the cross-partition link delay.
+//
+// The (source partition, source sequence) pair recorded here is the merge
+// key: inboxes are drained in (at, srcPart, srcSeq) order at barriers, so
+// the destination's schedule is independent of worker interleaving.
+func (s *Simulator) SendCross(dst *Simulator, at time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	s.crossSeq++
+	e := inboxEntry{at: at, srcPart: s.pidx, srcSeq: s.crossSeq, fn: fn}
+	dst.inboxMu.Lock()
+	dst.inbox = append(dst.inbox, e)
+	dst.inboxMu.Unlock()
+}
+
+// nextAt returns the timestamp of the earliest pending event, or maxDuration
+// when the queue is empty. Inbox entries are not visible until drained.
+func (s *Simulator) nextAt() time.Duration {
+	if len(s.heap) == 0 {
+		return maxDuration
+	}
+	return s.heap[0].at
+}
+
+// runBefore executes every pending event with timestamp strictly below
+// limit. Unlike RunUntil it leaves the clock at the last executed event
+// (the partition's local clock only advances through events; the round
+// barrier uses nextAt, not the clock, to bound the next window).
+func (s *Simulator) runBefore(limit time.Duration) {
+	s.halted = false
+	for len(s.heap) > 0 && !s.halted && s.heap[0].at < limit {
+		s.step()
+	}
+}
+
+// finishAt advances the clock to deadline without executing anything, used
+// once at the end of a partitioned run so post-run reads of Now() match the
+// sequential path.
+func (s *Simulator) finishAt(deadline time.Duration) {
+	if s.now < deadline {
+		s.now = deadline
+	}
 }

@@ -48,6 +48,12 @@ func Set(s *ScenarioSpec, key, value string) error {
 			return fail(err)
 		}
 		s.Shards = v
+	case "intra_workers", "iw":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.IntraWorkers = v
 	case "rate":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -162,7 +168,8 @@ func Set(s *ScenarioSpec, key, value string) error {
 
 // overrideKeys lists the canonical Set keys for error messages.
 var overrideKeys = []string{
-	"name", "group", "algorithm", "collector", "light", "servers", "shards", "rate",
+	"name", "group", "algorithm", "collector", "light", "servers", "shards",
+	"intra_workers", "rate",
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
 	"checkpoint_interval", "prune", "heap_ceiling_mb",

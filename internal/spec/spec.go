@@ -150,6 +150,14 @@ type ScenarioSpec struct {
 	// single instance; the zero value stays unset so pre-sharding specs
 	// and artifacts round-trip unchanged.
 	Shards int `json:"shards,omitempty"`
+	// IntraWorkers runs the scenario's own event population on this many
+	// concurrent workers via lookahead-bounded partitioned execution (one
+	// partition per server node, or per shard when Shards > 1). Purely an
+	// executor knob: results are byte-identical to the sequential schedule,
+	// only wall-clock time may change. 0 or 1 is the classic single-queue
+	// path; the zero value stays unset so existing specs and artifacts
+	// round-trip unchanged.
+	IntraWorkers int `json:"intra_workers,omitempty"`
 	// Rate is the aggregate sending rate in elements/second.
 	Rate float64 `json:"rate"`
 	// SendFor is how long clients keep adding (default 50s).
@@ -295,6 +303,12 @@ func (s ScenarioSpec) Validate() error {
 	if s.Shards > 1 && s.Metrics == MetricsStages {
 		return fmt.Errorf("stages metrics are per-instance and are not aggregated across shards yet (use %q)",
 			MetricsThroughput)
+	}
+	if s.IntraWorkers < 0 {
+		return fmt.Errorf("intra_workers must be >= 0, got %d", s.IntraWorkers)
+	}
+	if s.IntraWorkers > 256 {
+		return fmt.Errorf("intra_workers must be <= 256, got %d", s.IntraWorkers)
 	}
 	if s.Collector < 0 {
 		return fmt.Errorf("collector must be >= 0, got %d", s.Collector)
