@@ -41,6 +41,15 @@ const (
 	intraSpeedupMetric   = "intra_speedup"
 )
 
+// Mesh-transport probe metrics (setchain-bench's mesh probe). Like the
+// intra metrics these are gated only when the candidate recorded them;
+// the ratio is deterministic, so no baseline is needed — the mesh must
+// always clear the 2x message reduction over broadcast at n=50.
+const (
+	meshBcastMetric = "bcast_msgs_per_commit"
+	meshMsgsMetric  = "mesh_msgs_per_commit"
+)
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_pr4.json", "committed baseline artifact")
 	candidate := flag.String("candidate", "", "freshly measured artifact to gate")
@@ -83,6 +92,22 @@ func main() {
 			fmt.Fprintf(os.Stderr,
 				"benchgate: FAIL — %s regressed %.1f%% (%.2fx -> %.2fx; allowed %.0f%%)\n",
 				intraSpeedupMetric, 100*(1-candSpeed/baseSpeed), baseSpeed, candSpeed, 100**maxRegression)
+			os.Exit(1)
+		}
+	}
+	// Mesh-transport gate: any candidate that measured the mesh probe must
+	// show the gossip mesh at or under half the broadcast messages per
+	// committed element. Both numbers are deterministic measurements of the
+	// candidate itself, so this gate never depends on the baseline.
+	bcastPer, okB := perfMetric(*candidate, meshBcastMetric)
+	meshPer, okM := perfMetric(*candidate, meshMsgsMetric)
+	if okB && okM {
+		fmt.Printf("benchgate: %s %s=%.1f, %s=%.1f (ceiling %.1f)\n",
+			*candidate, meshBcastMetric, bcastPer, meshMsgsMetric, meshPer, bcastPer/2)
+		if meshPer > bcastPer/2 {
+			fmt.Fprintf(os.Stderr,
+				"benchgate: FAIL — mesh transport uses %.1f msgs/commit vs broadcast %.1f: reduction %.2fx is under the required 2x\n",
+				meshPer, bcastPer, bcastPer/meshPer)
 			os.Exit(1)
 		}
 	}

@@ -563,6 +563,30 @@ func runPerf(scale float64) {
 		fmt.Fprintln(os.Stderr, "intra probe: IntraWorkers changed the result — the PDES equivalence contract is broken")
 		os.Exit(1)
 	}
+
+	// Mesh transport probe (DESIGN.md §13): the mesh_vs_broadcast pair — the
+	// same n=50 workload on the flat broadcast transport and on the fanout-8
+	// gossip mesh. Messages per committed element are deterministic, so the
+	// committed baseline pins the Θ(n²)→O(n·fanout) reduction and benchgate
+	// fails any artifact where the mesh stops clearing 2x.
+	mcells, err := harness.EntryScenarios("mesh_vs_broadcast", scale)
+	if err != nil || len(mcells) != 2 {
+		fmt.Fprintf(os.Stderr, "mesh probe: mesh_vs_broadcast cells unavailable: %v\n", err)
+		return
+	}
+	bres, mres := harness.Run(mcells[0]), harness.Run(mcells[1])
+	if bres.Committed == 0 || mres.Committed == 0 {
+		fmt.Fprintf(os.Stderr, "mesh probe: no commits (broadcast %d, mesh %d) — metrics not recorded\n",
+			bres.Committed, mres.Committed)
+		return
+	}
+	bper := float64(bres.NetMsgs) / float64(bres.Committed)
+	mper := float64(mres.NetMsgs) / float64(mres.Committed)
+	recordMetric("bcast_msgs_per_commit", bper)
+	recordMetric("mesh_msgs_per_commit", mper)
+	recordMetric("mesh_msgs_ratio", mper/bper)
+	fmt.Printf("mesh probe (n=50): broadcast %.1f msgs/commit, mesh f=%d %.1f msgs/commit, ratio %.3f\n",
+		bper, mcells[1].Fanout, mper, mper/bper)
 }
 
 func runTable1(float64) {

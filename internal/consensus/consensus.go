@@ -320,6 +320,11 @@ type Node struct {
 	mutator        ProposalMutator
 	onCommit       CommitListener
 
+	// bcast, when set, replaces the per-validator send loop for
+	// proposal/vote fan-out (the mesh transport seam, DESIGN.md §13).
+	// Catch-up request/response traffic always stays point-to-point.
+	bcast func(payload any, size int)
+
 	futureMsgs []any // buffered messages for heights beyond the current one
 
 	keyBuf  []byte // scratch for blockID hashing, reused across calls
@@ -374,6 +379,13 @@ func (n *Node) SetCommitListener(l CommitListener) { n.onCommit = l }
 
 // SetStateSyncer installs the application's checkpoint state-sync hook.
 func (n *Node) SetStateSyncer(s StateSyncer) { n.syncer = s }
+
+// SetBroadcaster installs the transport used for proposal/vote fan-out.
+// nil (the default) keeps the classic per-validator send loop, preserving
+// byte-identical traffic for every existing scenario; the mesh transport
+// installs its Gossip publish here. Point-to-point catch-up traffic is
+// unaffected either way.
+func (n *Node) SetBroadcaster(b func(payload any, size int)) { n.bcast = b }
 
 // SetRetainHorizon prunes committed blocks and decided
 // proposals/certificates at or below the given height (the latest
@@ -613,6 +625,10 @@ func (n *Node) propose(r int32) {
 // send order (and with it every downstream random draw) matches what
 // Broadcast produced for a single-group fabric.
 func (n *Node) broadcast(payload any, size int) {
+	if n.bcast != nil {
+		n.bcast(payload, size)
+		return
+	}
 	for _, v := range n.validators {
 		if v != n.id {
 			n.net.Send(n.id, v, payload, size)

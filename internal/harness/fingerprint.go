@@ -9,7 +9,8 @@ import (
 // Fingerprint serializes every deterministic field of a Result — scenario,
 // totals, efficiency checkpoints, time series, commit fractions, per-shard
 // summaries, superepoch digest sequence, checkpoint counters, event count,
-// and the invariant verdict — into a canonical byte string. Two runs are
+// network message/byte totals, gossip-relay counters, and the invariant
+// verdict — into a canonical byte string. Two runs are
 // "byte-identical" exactly when their fingerprints are equal.
 //
 // Scenario.IntraWorkers is normalized away before serializing: it is an
@@ -37,11 +38,15 @@ func Fingerprint(res *Result) []byte {
 		SyncInstalls    uint64
 		PerShard        any
 		SuperSeq        []uint64
+		NetMsgs         uint64
+		NetBytes        uint64
+		Gossip          any
 		Invariant       bool
 	}{clone.Scenario, clone.Injected, clone.Committed, clone.Eff50, clone.Eff75,
 		clone.Eff100, clone.AvgTput, clone.Series, clone.CommitFrac, clone.Analytical,
 		clone.Blocks, clone.Events, clone.CheckpointSeals, clone.SyncInstalls,
-		clone.PerShard, clone.SuperDigests, clone.Invariant != nil})
+		clone.PerShard, clone.SuperDigests, clone.NetMsgs, clone.NetBytes,
+		clone.Gossip, clone.Invariant != nil})
 	if err != nil {
 		// Every field above is a plain value type; a marshal failure is a
 		// programming error in this function, not a data condition.

@@ -51,6 +51,8 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		Servers:            sp.Servers,
 		Shards:             sp.Shards,
 		IntraWorkers:       sp.IntraWorkers,
+		Transport:          sp.Transport,
+		Fanout:             sp.Fanout,
 		Rate:               sp.Rate,
 		SendFor:            sp.SendFor.Std(),
 		Horizon:            sp.Horizon.Std(),

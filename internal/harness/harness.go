@@ -28,6 +28,7 @@ import (
 	"repro/internal/setcrypto"
 	"repro/internal/shard"
 	"repro/internal/sim"
+	"repro/internal/spec"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -111,6 +112,14 @@ type Scenario struct {
 	// partitioned executor cannot preserve bit-for-bit (LevelStages
 	// metrics, Hashchain Light's shared store) silently degrade to it.
 	IntraWorkers int
+	// Transport selects the fan-out path for consensus and mempool
+	// traffic: "" or spec.TransportBroadcast is the classic direct
+	// per-validator send loop; spec.TransportMesh routes it over the
+	// bounded-fanout gossip overlay (DESIGN.md §13).
+	Transport string
+	// Fanout is the mesh overlay's target node degree (default 8 when
+	// Transport is mesh, ignored otherwise).
+	Fanout int
 	// Mode selects crypto fidelity: Modeled (default, the evaluation) or
 	// Full (real ed25519/SHA-512/Deflate over real payloads).
 	Mode core.Mode
@@ -174,11 +183,17 @@ func (sc Scenario) withDefaults() Scenario {
 	}
 	sc.Rate *= sc.Scale
 	sc.SendFor = time.Duration(float64(sc.SendFor) * sc.Scale)
+	if sc.Transport == spec.TransportMesh && sc.Fanout == 0 {
+		sc.Fanout = 8
+	}
 	if sc.Name == "" {
 		sc.Name = fmt.Sprintf("%s n=%d rate=%.0f delay=%v",
 			sc.Spec.Label(), sc.Servers, sc.Rate, sc.NetworkDelay)
 		if sc.Shards > 1 {
 			sc.Name += fmt.Sprintf(" shards=%d", sc.Shards)
+		}
+		if sc.Transport == spec.TransportMesh {
+			sc.Name += fmt.Sprintf(" mesh f=%d", sc.Fanout)
 		}
 	}
 	return sc
@@ -239,6 +254,15 @@ type Result struct {
 	// HeapViolations).
 	HeapLiveMB    float64
 	HeapViolation bool
+	// NetMsgs/NetBytes are the fabric's total sent messages and bytes
+	// (summed across shards' shared network in a sharded run). Fully
+	// deterministic, so part of the run fingerprint; NetMsgs/Committed is
+	// the msgs_per_commit metric the mesh transport is gated on.
+	NetMsgs  uint64
+	NetBytes uint64
+	// Gossip aggregates the mesh overlay's counters (zero value on the
+	// broadcast transport).
+	Gossip netsim.MeshStats
 }
 
 // deployConfig derives the server options and ledger config a defaulted
@@ -266,6 +290,8 @@ func deployConfig(sc Scenario) (core.Options, ledger.Config) {
 		Net:       netCfg,
 		Consensus: consensus.PaperParams(),
 		Mempool:   mempool.PaperConfig(),
+		Transport: sc.Transport,
+		Fanout:    sc.Fanout,
 	}
 	if sc.Mode == core.Full {
 		lcfg.Suite = setcrypto.Ed25519Suite{}
@@ -360,6 +386,11 @@ func runScenario(sc Scenario) *Result {
 	res.CheckpointSeals = rec.CheckpointSeals()
 	for _, srv := range d.Servers {
 		res.SyncInstalls += srv.SyncInstalls()
+	}
+	res.NetMsgs = d.Ledger.Net.Messages()
+	res.NetBytes = d.Ledger.Net.BytesSent()
+	if d.Ledger.Mesh != nil {
+		res.Gossip = d.Ledger.Mesh.Stats()
 	}
 	// Safety invariants are checked on EVERY scenario — chaos or not — so
 	// any run of any study doubles as a machine-checked safety argument.

@@ -34,7 +34,11 @@ func timedRun(t *testing.T, sc Scenario, iw int) timedResult {
 // pdesCells expands the families the equivalence contract covers, at a
 // reduced scale so the whole sweep stays CI-sized. soak cells keep their
 // heap ceilings; the sweep runs cells one at a time, so the process-wide
-// measurement stays meaningful.
+// measurement stays meaningful. The mesh_* families are covered because
+// the gossip overlay's dedup caches and relay queues are per-node state
+// the partitioned executor must not perturb (DESIGN.md §13) — and the
+// fingerprint includes message totals and gossip counters, so a
+// transport-level divergence cannot hide behind equal commit metrics.
 func pdesCells(t *testing.T, scale float64) []Scenario {
 	t.Helper()
 	var scs []Scenario
@@ -42,6 +46,7 @@ func pdesCells(t *testing.T, scale float64) []Scenario {
 		"scale_tput", "scale_chaos",
 		"chaos_crash", "chaos_partition", "chaos_majority", "chaos_lossy",
 		"soak_smoke",
+		"mesh_scale", "mesh_vs_broadcast", "mesh_chaos", "mesh_shards",
 	} {
 		cells, err := EntryScenarios(entry, scale)
 		if err != nil {

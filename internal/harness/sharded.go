@@ -142,6 +142,13 @@ func runShardedScenario(sc Scenario) *Result {
 	if res.Invariant != nil {
 		invariantViolations.Add(1)
 	}
+	res.NetMsgs = d.Net.Messages()
+	res.NetBytes = d.Net.BytesSent()
+	for _, sd := range d.Shards {
+		if sd.Ledger.Mesh != nil {
+			res.Gossip.Add(sd.Ledger.Mesh.Stats())
+		}
+	}
 	measureHeap(res, d)
 	return res
 }

@@ -17,7 +17,10 @@ func shardedFingerprint(t *testing.T, res *Result) []byte {
 func scaleCells(t *testing.T, scale float64) []Scenario {
 	t.Helper()
 	var scs []Scenario
-	for _, entry := range []string{"scale_tput", "scale_chaos"} {
+	// mesh_shards rides along: per-shard gossip overlays must be exactly
+	// as deterministic as the classic transport under fresh reruns and
+	// worker-pool widths.
+	for _, entry := range []string{"scale_tput", "scale_chaos", "mesh_shards"} {
 		cells, err := EntryScenarios(entry, scale)
 		if err != nil {
 			t.Fatal(err)

@@ -40,6 +40,7 @@ type Node struct {
 	net    *netsim.Network
 	sim    *sim.Simulator // the queue owning this node's events
 	appMsg AppMsgHandler
+	mesh   *netsim.Mesh // non-nil iff the cluster runs the mesh transport
 }
 
 // Sim returns the simulator owning this node's events: the partition queue
@@ -76,6 +77,10 @@ func (n *Node) Send(to wire.NodeID, payload any, size int) {
 
 func (n *Node) receive(from wire.NodeID, payload any, size int) {
 	switch msg := payload.(type) {
+	case *netsim.Envelope:
+		// Mesh transport: unwrap, dedup and relay; fresh payloads come
+		// back through receiveGossiped with their origin as the sender.
+		n.mesh.Receive(n.ID, from, msg)
 	case *mempool.GossipMsg:
 		n.Pool.ReceiveGossip(msg)
 	case *consensus.Proposal, *consensus.Vote, *consensus.BlockRequest,
@@ -86,6 +91,15 @@ func (n *Node) receive(from wire.NodeID, payload any, size int) {
 			n.appMsg(from, payload, size)
 		}
 	}
+}
+
+// receiveGossiped is the mesh's local delivery callback: a fresh gossiped
+// payload, attributed to its ORIGINATOR (not the relaying neighbor), so
+// consensus sender checks and catch-up targeting behave exactly as under
+// direct sends. Envelopes never nest, so routing back through receive is
+// terminal.
+func (n *Node) receiveGossiped(origin wire.NodeID, payload any, size int) {
+	n.receive(origin, payload, size)
 }
 
 // Config describes a ledger cluster.
@@ -113,6 +127,15 @@ type Config struct {
 	Consensus consensus.Params
 	// Mempool holds pool limits and gossip cadence.
 	Mempool mempool.Config
+	// Transport selects the fan-out path: "" or "broadcast" is the classic
+	// per-validator send loop (byte-identical to every pre-mesh run);
+	// "mesh" routes proposals, votes and mempool gossip over the
+	// bounded-fanout overlay (DESIGN.md §13). Catch-up traffic is always
+	// point-to-point.
+	Transport string
+	// Fanout is the mesh's target node degree; values < 2 default to 8.
+	// Ignored unless Transport is "mesh".
+	Fanout int
 	// Suite selects real or fast crypto. Nil defaults to FastSuite.
 	Suite setcrypto.Suite
 	// OnTxEnterMempool observes transactions entering each node's pool.
@@ -143,6 +166,10 @@ type Cluster struct {
 	Suite    setcrypto.Suite
 	Registry *setcrypto.Registry
 	Keys     []setcrypto.KeyPair
+	// Mesh is the gossip overlay carrying this cluster's consensus and
+	// mempool fan-out; nil on the classic broadcast transport. Sharded
+	// worlds build one mesh per shard over the shared fabric.
+	Mesh *netsim.Mesh
 }
 
 // NewCluster builds the network, PKI, mempools and consensus nodes. The
@@ -197,7 +224,28 @@ func NewCluster(s *sim.Simulator, cfg Config) *Cluster {
 		c.Nodes = append(c.Nodes, node)
 		c.Net.AddNode(id, node.receive)
 	}
+	if cfg.Transport == "mesh" {
+		fanout := cfg.Fanout
+		if fanout < 2 {
+			fanout = 8
+		}
+		c.Mesh = netsim.NewMesh(c.Net, validators, fanout)
+		for _, node := range c.Nodes {
+			node.mesh = c.Mesh
+			c.Mesh.SetDeliver(node.ID, node.receiveGossiped)
+			node.installMeshBroadcaster()
+		}
+	}
 	return c
+}
+
+// installMeshBroadcaster points the node's consensus engine and mempool at
+// the mesh publish path. Re-run whenever Cons is rebuilt (SetApp).
+func (n *Node) installMeshBroadcaster() {
+	mesh, id := n.mesh, n.ID
+	pub := func(payload any, size int) { mesh.Gossip(id, payload, size) }
+	n.Cons.SetBroadcaster(pub)
+	n.Pool.SetBroadcaster(pub)
 }
 
 // SetApp installs the application (and its CheckTx) on one node. Must be
@@ -217,6 +265,10 @@ func (c *Cluster) SetApp(id wire.NodeID, app abci.Application) {
 	// state-sync snapshots for deep catch-up.
 	if syncer, ok := app.(consensus.StateSyncer); ok {
 		node.Cons.SetStateSyncer(syncer)
+	}
+	// The rebuild above discarded the old engine's transport wiring.
+	if c.Mesh != nil {
+		node.installMeshBroadcaster()
 	}
 }
 

@@ -77,6 +77,11 @@ type Mempool struct {
 	flushArmed    bool
 	peers         []wire.NodeID
 
+	// bcast, when set, replaces the per-peer gossip send loop (the mesh
+	// transport seam, DESIGN.md §13). The mesh relays envelopes itself, so
+	// with bcast installed, received transactions are NOT re-originated.
+	bcast func(payload any, size int)
+
 	// Stats.
 	admitted         uint64
 	rejected         uint64
@@ -119,18 +124,28 @@ func New(id wire.NodeID, s *sim.Simulator, net *netsim.Network, peers []wire.Nod
 // application's CheckTx after construction; not for use mid-run.
 func (m *Mempool) SetCheck(check CheckFunc) { m.check = check }
 
+// SetBroadcaster installs the transport used to fan gossip batches out.
+// nil (the default) keeps the classic per-peer send loop; the mesh
+// transport installs its Gossip publish here, and transitive re-gossip of
+// received transactions is then suppressed — the mesh's own relay already
+// floods every envelope to not-yet-seen nodes, so re-originating would
+// send each transaction O(n) extra times.
+func (m *Mempool) SetBroadcaster(b func(payload any, size int)) { m.bcast = b }
+
 // AddTx submits a transaction locally (the paper's BroadcastTxAsync path).
 // It validates, pools, and schedules gossip. Returns true if admitted.
 func (m *Mempool) AddTx(tx *wire.Tx) bool {
 	return m.add(tx, true)
 }
 
-// ReceiveGossip ingests transactions forwarded by a peer. First-seen valid
-// transactions are pooled and re-forwarded (flooding, as CometBFT's gossip
-// effectively achieves on a full mesh).
+// ReceiveGossip ingests transactions forwarded by a peer. On the classic
+// transport, first-seen valid transactions are pooled and re-forwarded
+// (flooding, as CometBFT's gossip effectively achieves on a full mesh);
+// under a mesh broadcaster the overlay's relay already floods them, so
+// they are pooled without re-origination.
 func (m *Mempool) ReceiveGossip(msg *GossipMsg) {
 	for _, tx := range msg.Txs {
-		m.add(tx, true)
+		m.add(tx, m.bcast == nil)
 	}
 }
 
@@ -156,7 +171,7 @@ func (m *Mempool) add(tx *wire.Tx, gossip bool) bool {
 	if m.enter != nil {
 		m.enter(m.id, tx)
 	}
-	if gossip && len(m.peers) > 0 {
+	if gossip && (len(m.peers) > 0 || m.bcast != nil) {
 		m.pendingGossip = append(m.pendingGossip, tx)
 		m.armFlush()
 	}
@@ -182,6 +197,10 @@ func (m *Mempool) flush() {
 		size += tx.WireSize()
 	}
 	m.pendingGossip = nil
+	if m.bcast != nil {
+		m.bcast(msg, size)
+		return
+	}
 	for _, p := range m.peers {
 		m.net.Send(m.id, p, msg, size)
 	}

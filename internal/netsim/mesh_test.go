@@ -1,0 +1,223 @@
+package netsim
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestMeshPeersConnectivity is the property test behind the liveness
+// argument (DESIGN.md §13): every seeded peer graph at fanout >= 2 is
+// connected, degrees are bounded by ~fanout, edges are symmetric, and
+// the same (seed, ids, fanout) always yields the same graph.
+func TestMeshPeersConnectivity(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		for _, n := range []int{2, 3, 4, 5, 10, 31, 50, 100} {
+			for _, fanout := range []int{2, 3, 4, 8} {
+				ids := make([]wire.NodeID, n)
+				for i := range ids {
+					ids[i] = wire.NodeID(i)
+				}
+				peers := MeshPeers(seed, ids, fanout)
+				name := fmt.Sprintf("seed=%d n=%d fanout=%d", seed, n, fanout)
+
+				// Degree bounds: every node has at least min(2, n-1)
+				// neighbors (the ring) and at most fanout+1 (odd fanouts
+				// and the n/2 offset round unevenly).
+				for id, ps := range peers {
+					minDeg := 2
+					if n-1 < minDeg {
+						minDeg = n - 1
+					}
+					if len(ps) < minDeg || len(ps) > fanout+1 {
+						t.Fatalf("%s: node %d has degree %d, want %d..%d", name, id, len(ps), minDeg, fanout+1)
+					}
+					for _, p := range ps {
+						sym := false
+						for _, back := range peers[p] {
+							if back == id {
+								sym = true
+							}
+						}
+						if !sym {
+							t.Fatalf("%s: edge %d->%d not symmetric", name, id, p)
+						}
+					}
+				}
+
+				// BFS from node 0 must reach everyone.
+				seen := map[wire.NodeID]bool{0: true}
+				frontier := []wire.NodeID{0}
+				for len(frontier) > 0 {
+					var next []wire.NodeID
+					for _, u := range frontier {
+						for _, v := range peers[u] {
+							if !seen[v] {
+								seen[v] = true
+								next = append(next, v)
+							}
+						}
+					}
+					frontier = next
+				}
+				if len(seen) != n {
+					t.Fatalf("%s: graph disconnected, reached %d of %d nodes", name, len(seen), n)
+				}
+
+				// Determinism: rebuilding with the same inputs gives the
+				// identical adjacency.
+				again := MeshPeers(seed, ids, fanout)
+				for id := range peers {
+					if fmt.Sprint(again[id]) != fmt.Sprint(peers[id]) {
+						t.Fatalf("%s: rebuild changed node %d's peers: %v vs %v", name, id, peers[id], again[id])
+					}
+				}
+			}
+		}
+	}
+}
+
+// meshHarness wires a Mesh over a fresh network and records, per node,
+// how many times each digest was delivered.
+type meshHarness struct {
+	s     *sim.Simulator
+	net   *Network
+	mesh  *Mesh
+	seen  map[wire.NodeID]map[gossip.Digest]int
+	nodes int
+}
+
+func newMeshHarness(t *testing.T, n, fanout int, seed int64) *meshHarness {
+	t.Helper()
+	h := &meshHarness{
+		s:     sim.New(seed),
+		seen:  make(map[wire.NodeID]map[gossip.Digest]int),
+		nodes: n,
+	}
+	h.net = New(h.s, Config{BaseLatency: 250 * time.Microsecond})
+	ids := make([]wire.NodeID, n)
+	for i := range ids {
+		ids[i] = wire.NodeID(i)
+	}
+	for _, id := range ids {
+		id := id
+		h.seen[id] = make(map[gossip.Digest]int)
+		h.net.AddNode(id, func(from wire.NodeID, payload any, size int) {
+			if env, ok := payload.(*Envelope); ok {
+				h.mesh.Receive(id, from, env)
+			}
+		})
+	}
+	h.mesh = NewMesh(h.net, ids, fanout)
+	for _, id := range ids {
+		id := id
+		h.mesh.SetDeliver(id, func(origin wire.NodeID, payload any, size int) {
+			h.seen[id][payload.(gossip.Digest)]++
+		})
+	}
+	return h
+}
+
+// originate has every node publish one message (payload = its digest so
+// receivers can count per-digest deliveries).
+func (h *meshHarness) originate() {
+	for i := 0; i < h.nodes; i++ {
+		id := wire.NodeID(i)
+		h.s.After(time.Duration(i)*time.Millisecond, func() {
+			h.mesh.Gossip(id, gossip.Digest{Origin: id, Seq: 0}, 200)
+		})
+	}
+}
+
+// TestMeshExactlyOnceDelivery is the integration contract: over a real
+// simulated network, every message reaches every node other than its
+// originator exactly once, at any fanout.
+func TestMeshExactlyOnceDelivery(t *testing.T) {
+	for _, tc := range []struct{ n, fanout int }{
+		{4, 2}, {7, 2}, {10, 4}, {20, 8}, {20, 50}, // last = full-mesh degenerate
+	} {
+		h := newMeshHarness(t, tc.n, tc.fanout, 42)
+		h.originate()
+		h.s.Run()
+		for node, counts := range h.seen {
+			for origin := 0; origin < tc.n; origin++ {
+				d := gossip.Digest{Origin: wire.NodeID(origin), Seq: 0}
+				want := 1
+				if wire.NodeID(origin) == node {
+					want = 0 // no self-delivery, like Broadcast
+				}
+				if got := counts[d]; got != want {
+					t.Fatalf("n=%d fanout=%d: node %d saw digest from %d %d times, want %d",
+						tc.n, tc.fanout, node, origin, got, want)
+				}
+			}
+		}
+		st := h.mesh.Stats()
+		if st.Originated != uint64(tc.n) || st.Delivered != uint64(tc.n*(tc.n-1)) {
+			t.Fatalf("n=%d fanout=%d: stats %+v, want %d originated, %d delivered",
+				tc.n, tc.fanout, st, tc.n, tc.n*(tc.n-1))
+		}
+	}
+}
+
+// TestMeshBrokenDedupDuplicates sabotages the dedup cache and proves the
+// exactly-once check above would catch it: with dedup broken, nodes see
+// the same digest more than once (the MaxHops backstop keeps the storm
+// finite). If this passes cleanly, the delivery-count assertions are
+// vacuous.
+func TestMeshBrokenDedupDuplicates(t *testing.T) {
+	gossip.SetBreakDedupForTest(true)
+	defer gossip.SetBreakDedupForTest(false)
+	h := newMeshHarness(t, 5, 2, 42)
+	h.originate()
+	h.s.Run()
+	dup := false
+	for _, counts := range h.seen {
+		for _, c := range counts {
+			if c > 1 {
+				dup = true
+			}
+		}
+	}
+	if !dup {
+		t.Fatal("broken dedup produced no duplicate delivery — the exactly-once check is vacuous")
+	}
+}
+
+// TestMeshBrokenExpiryStarves sabotages the relay queue expiry — every
+// flush drains nothing — and proves gossip stops entirely: no node
+// receives anything. This is what the harness-level Committed>0 checks
+// key off.
+func TestMeshBrokenExpiryStarves(t *testing.T) {
+	gossip.SetBreakExpiryForTest(true)
+	defer gossip.SetBreakExpiryForTest(false)
+	h := newMeshHarness(t, 5, 2, 42)
+	h.originate()
+	h.s.Run()
+	for node, counts := range h.seen {
+		if len(counts) != 0 {
+			t.Fatalf("broken expiry still delivered %d digests to node %d — starvation checks are vacuous", len(counts), node)
+		}
+	}
+}
+
+// TestMeshDeterministicAcrossRuns pins byte-equal delivery traces for
+// identical seeds at the netsim layer (the harness sweeps assert the same
+// through full scenarios).
+func TestMeshDeterministicAcrossRuns(t *testing.T) {
+	run := func() (string, uint64) {
+		h := newMeshHarness(t, 10, 4, 7)
+		h.originate()
+		h.s.Run()
+		return fmt.Sprint(h.mesh.Stats()), h.net.Messages()
+	}
+	s1, m1 := run()
+	s2, m2 := run()
+	if s1 != s2 || m1 != m2 {
+		t.Fatalf("identical seeds diverged: %s/%d vs %s/%d", s1, m1, s2, m2)
+	}
+}

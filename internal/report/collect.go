@@ -57,6 +57,12 @@ func Measurements(res *harness.Result) map[string]float64 {
 		m[spec.MetricCkptSeals] = float64(res.CheckpointSeals)
 		m[spec.MetricSyncInstalls] = float64(res.SyncInstalls)
 	}
+	// Message complexity (the mesh transport's headline axis). NetMsgs is
+	// deterministic, so the ratio is artifact-worthy on every committed
+	// run, broadcast or mesh.
+	if res.Committed > 0 {
+		m[spec.MetricMsgsPerCommit] = roundTo(float64(res.NetMsgs)/float64(res.Committed), 3)
+	}
 	return m
 }
 

@@ -54,6 +54,14 @@ func Set(s *ScenarioSpec, key, value string) error {
 			return fail(err)
 		}
 		s.IntraWorkers = v
+	case "transport":
+		s.Transport = strings.ToLower(value)
+	case "fanout":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		s.Fanout = v
 	case "rate":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -169,7 +177,7 @@ func Set(s *ScenarioSpec, key, value string) error {
 // overrideKeys lists the canonical Set keys for error messages.
 var overrideKeys = []string{
 	"name", "group", "algorithm", "collector", "light", "servers", "shards",
-	"intra_workers", "rate",
+	"intra_workers", "transport", "fanout", "rate",
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
 	"checkpoint_interval", "prune", "heap_ceiling_mb",

@@ -18,19 +18,20 @@ import (
 // per-cell measurements a run artifact records (internal/report fills the
 // same keys from a harness Result).
 const (
-	MetricInjected     = "injected"         // elements injected by the workload
-	MetricCommitted    = "committed"        // elements committed by the horizon
-	MetricAvgTput      = "avg_tput"         // Table 2: committed/s to send-end
-	MetricEffSend      = "eff_send"         // efficiency at the send-end
-	MetricEff15x       = "eff_1_5x"         // efficiency at 1.5x the send window
-	MetricEff2x        = "eff_2x"           // efficiency at 2.0x the send window
-	MetricAnalytic     = "analytic"         // Appendix D model value
-	MetricCommitFirstS = "commit_first_s"   // commit time of the first element
-	MetricCommit50pS   = "commit_50pct_s"   // commit time of the 50% fraction
-	MetricP50CommitS   = "p50_commit_s"     // median commit latency (stages runs)
-	MetricP99CommitS   = "p99_commit_s"     // p99 commit latency (stages runs)
-	MetricCkptSeals    = "checkpoint_seals" // pruning checkpoints the observer sealed
-	MetricSyncInstalls = "sync_installs"    // servers recovered via checkpoint state-sync
+	MetricInjected      = "injected"         // elements injected by the workload
+	MetricCommitted     = "committed"        // elements committed by the horizon
+	MetricAvgTput       = "avg_tput"         // Table 2: committed/s to send-end
+	MetricEffSend       = "eff_send"         // efficiency at the send-end
+	MetricEff15x        = "eff_1_5x"         // efficiency at 1.5x the send window
+	MetricEff2x         = "eff_2x"           // efficiency at 2.0x the send window
+	MetricAnalytic      = "analytic"         // Appendix D model value
+	MetricCommitFirstS  = "commit_first_s"   // commit time of the first element
+	MetricCommit50pS    = "commit_50pct_s"   // commit time of the 50% fraction
+	MetricP50CommitS    = "p50_commit_s"     // median commit latency (stages runs)
+	MetricP99CommitS    = "p99_commit_s"     // p99 commit latency (stages runs)
+	MetricCkptSeals     = "checkpoint_seals" // pruning checkpoints the observer sealed
+	MetricSyncInstalls  = "sync_installs"    // servers recovered via checkpoint state-sync
+	MetricMsgsPerCommit = "msgs_per_commit"  // network messages per committed element
 )
 
 // Metrics lists every valid Reference metric name.
@@ -38,7 +39,7 @@ var Metrics = []string{
 	MetricInjected, MetricCommitted, MetricAvgTput,
 	MetricEffSend, MetricEff15x, MetricEff2x, MetricAnalytic,
 	MetricCommitFirstS, MetricCommit50pS, MetricP50CommitS, MetricP99CommitS,
-	MetricCkptSeals, MetricSyncInstalls,
+	MetricCkptSeals, MetricSyncInstalls, MetricMsgsPerCommit,
 }
 
 // Reference sources — where the expected value comes from.

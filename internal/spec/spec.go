@@ -73,6 +73,12 @@ const (
 	CryptoFull    = "full"    // real ed25519/SHA-512/Deflate over real payloads
 )
 
+// Transport names (ScenarioSpec.Transport); see DESIGN.md §13.
+const (
+	TransportBroadcast = "broadcast" // direct per-validator sends (the default)
+	TransportMesh      = "mesh"      // bounded-fanout gossip overlay
+)
+
 // Byzantine behavior names (ByzantineSpec.Behaviors); each maps onto one
 // preset of internal/byzantine.
 const (
@@ -158,6 +164,15 @@ type ScenarioSpec struct {
 	// path; the zero value stays unset so existing specs and artifacts
 	// round-trip unchanged.
 	IntraWorkers int `json:"intra_workers,omitempty"`
+	// Transport selects how consensus and mempool traffic fans out:
+	// "broadcast" (direct per-validator sends, the paper's model) or
+	// "mesh" (bounded-fanout gossip overlay with digest-keyed dedup,
+	// DESIGN.md §13). The zero value means broadcast and stays unset so
+	// pre-mesh specs and artifacts round-trip unchanged.
+	Transport string `json:"transport,omitempty"`
+	// Fanout is the mesh overlay's target node degree (default 8). Only
+	// meaningful — and only defaulted — when Transport is "mesh".
+	Fanout int `json:"fanout,omitempty"`
 	// Rate is the aggregate sending rate in elements/second.
 	Rate float64 `json:"rate"`
 	// SendFor is how long clients keep adding (default 50s).
@@ -232,6 +247,9 @@ func (s ScenarioSpec) WithDefaults() ScenarioSpec {
 	if s.Collector == 0 && s.Algorithm != AlgVanilla {
 		s.Collector = 100
 	}
+	if s.Transport == TransportMesh && s.Fanout == 0 {
+		s.Fanout = 8
+	}
 	if s.Workload != nil {
 		w := *s.Workload
 		if w.SizeMean == 0 {
@@ -262,6 +280,14 @@ func (s ScenarioSpec) WithDefaults() ScenarioSpec {
 		s.Faults = s.Faults.withDefaults()
 	}
 	return s
+}
+
+// orBroadcast names the transport an unset field denotes, for messages.
+func orBroadcast(t string) string {
+	if t == "" {
+		return TransportBroadcast
+	}
+	return t
 }
 
 func hasBehavior(names []string, want string) bool {
@@ -309,6 +335,18 @@ func (s ScenarioSpec) Validate() error {
 	}
 	if s.IntraWorkers > 256 {
 		return fmt.Errorf("intra_workers must be <= 256, got %d", s.IntraWorkers)
+	}
+	switch s.Transport {
+	case "", TransportBroadcast, TransportMesh:
+	default:
+		return fmt.Errorf("unknown transport %q (want %q or %q)",
+			s.Transport, TransportBroadcast, TransportMesh)
+	}
+	if s.Transport == TransportMesh && s.Fanout < 2 {
+		return fmt.Errorf("mesh transport needs fanout >= 2 for a connected overlay, got %d", s.Fanout)
+	}
+	if s.Transport != TransportMesh && s.Fanout != 0 {
+		return fmt.Errorf("fanout is a mesh parameter; transport is %q", orBroadcast(s.Transport))
 	}
 	if s.Collector < 0 {
 		return fmt.Errorf("collector must be >= 0, got %d", s.Collector)
