@@ -379,6 +379,12 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 			heap = true
 		}
 	}
+	open := false
+	for _, c := range cells {
+		if c.Admission != nil || c.Open != nil {
+			open = true
+		}
+	}
 	headers := []string{"Scenario", "n", "Rate el/s", "Delay",
 		"Injected", "Committed", "Avg el/s", "Eff@2x", "Analytic", "Safety"}
 	if sharded {
@@ -395,6 +401,12 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 	}
 	if faulted {
 		headers = append(headers, "Faults")
+	}
+	if open {
+		// Offered counts every generation attempt (accepted + rejected);
+		// Rej% is the admission gate's shed fraction; Fair is the Jain
+		// index over per-client acceptance ratios.
+		headers = append(headers, "Offered", "Rej%", "Fair")
 	}
 	if stages {
 		headers = append(headers, "p50 commit", "p99 commit")
@@ -448,6 +460,14 @@ func runCells(cells []spec.ScenarioSpec, scale float64) error {
 		}
 		if faulted {
 			row = append(row, cells[i].Faults.Summary())
+		}
+		if open {
+			rej := "-"
+			if res.Offered > 0 {
+				rej = fmt.Sprintf("%.1f", 100*float64(res.Rejected)/float64(res.Offered))
+			}
+			row = append(row, fmt.Sprintf("%d", res.Offered), rej,
+				fmt.Sprintf("%.3f", res.Fairness))
 		}
 		if stages {
 			p50, p99 := "-", "-"

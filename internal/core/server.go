@@ -19,6 +19,7 @@ import (
 var (
 	ErrInvalidElement = errors.New("setchain: invalid element")
 	ErrDuplicate      = errors.New("setchain: element already in the_set")
+	ErrAdmission      = errors.New("setchain: admission control refused element (mempool saturated)")
 )
 
 // Epoch is one entry of the Setchain history: an epoch number and the set
@@ -180,6 +181,13 @@ func (s *Server) Add(e *wire.Element) error {
 	if _, dup := s.theSet[e.ID]; dup {
 		s.addsRejected++
 		return ErrDuplicate
+	}
+	// Admission gate (DESIGN.md §14): refused elements never enter
+	// the_set or any collector, so they structurally cannot commit — the
+	// invariant checker's rejected-ID scan is the independent witness.
+	if !s.node.AdmitElement() {
+		s.addsRejected++
+		return ErrAdmission
 	}
 	s.theSet[e.ID] = e
 	s.addsAccepted++

@@ -41,12 +41,18 @@ func Fingerprint(res *Result) []byte {
 		NetMsgs         uint64
 		NetBytes        uint64
 		Gossip          any
+		Offered         uint64
+		Rejected        uint64
+		Fairness        float64
+		DeferredTxs     uint64
+		ExpiredTxs      uint64
 		Invariant       bool
 	}{clone.Scenario, clone.Injected, clone.Committed, clone.Eff50, clone.Eff75,
 		clone.Eff100, clone.AvgTput, clone.Series, clone.CommitFrac, clone.Analytical,
 		clone.Blocks, clone.Events, clone.CheckpointSeals, clone.SyncInstalls,
 		clone.PerShard, clone.SuperDigests, clone.NetMsgs, clone.NetBytes,
-		clone.Gossip, clone.Invariant != nil})
+		clone.Gossip, clone.Offered, clone.Rejected, clone.Fairness,
+		clone.DeferredTxs, clone.ExpiredTxs, clone.Invariant != nil})
 	if err != nil {
 		// Every field above is a plain value type; a marshal failure is a
 		// programming error in this function, not a data condition.

@@ -77,6 +77,28 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		}
 		sc.Tick = w.Tick.Std()
 	}
+	if o := sp.Open; o != nil {
+		sc.Open = workload.OpenConfig{
+			Zipf:     o.Zipf,
+			ChurnOn:  o.ChurnOn.Std(),
+			ChurnOff: o.ChurnOff.Std(),
+		}
+		for _, ph := range o.Envelope {
+			sc.Open.Envelope = append(sc.Open.Envelope, workload.RatePhase{
+				From: ph.From.Std(), Mult: ph.Mult,
+			})
+		}
+	}
+	if a := sp.Admission; a != nil {
+		sc.Admission = AdmissionCfg{
+			Policy:      a.Policy,
+			Watermark:   a.Watermark,
+			MaxTxs:      a.MaxTxs,
+			MaxBytes:    a.MaxBytes,
+			MaxDelay:    a.MaxDelay.Std(),
+			MaxDeferred: a.MaxDeferred,
+		}
+	}
 	if b := sp.Byzantine; b != nil {
 		sc.Byzantine = ByzantineCfg{
 			Faulty:      b.Faulty,

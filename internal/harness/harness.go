@@ -130,6 +130,14 @@ type Scenario struct {
 	// distribution. Tick batches injection bookkeeping (0 = 10 ms).
 	Sizes workload.SizeModel
 	Tick  time.Duration
+	// Open adds open-system workload dynamics — Zipf source skew, session
+	// churn, rate envelopes (workload.OpenConfig, DESIGN.md §14). The
+	// zero value is the closed system; time axes scale with Scale like
+	// the send window does.
+	Open workload.OpenConfig
+	// Admission enables mempool admission control; the zero value keeps
+	// admission off.
+	Admission AdmissionCfg
 	// Byzantine makes the highest-indexed servers faulty.
 	Byzantine ByzantineCfg
 	// Faults schedules deterministic network fault injection (crashes,
@@ -150,6 +158,26 @@ type Scenario struct {
 	// concurrently-running cells share one heap — soak cells are meant to
 	// run alone or treat the combined figure as the (sound) upper bound.
 	HeapCeilingMB int
+}
+
+// AdmissionCfg configures mempool admission control for a scenario: the
+// mempool.AdmissionConfig knobs plus pool-cap overrides (the paper's
+// 10M-tx/2GB caps are unreachable; an admission experiment picks caps
+// the workload can actually saturate). The zero value keeps admission
+// off. Behavior names are the spec package's (spec.AdmissionReject,
+// spec.AdmissionDelay).
+type AdmissionCfg struct {
+	// Policy is spec.AdmissionReject or spec.AdmissionDelay ("" = off).
+	Policy string
+	// Watermark is the saturation threshold as a fraction of the caps
+	// (0 = 0.9).
+	Watermark float64
+	// MaxDelay / MaxDeferred tune the delay policy's bounded queue.
+	MaxDelay    time.Duration
+	MaxDeferred int
+	// MaxTxs / MaxBytes override the mempool caps (0 keeps the paper's).
+	MaxTxs   int
+	MaxBytes int
 }
 
 // ByzantineCfg configures faulty servers for a scenario. The zero value
@@ -263,6 +291,18 @@ type Result struct {
 	// Gossip aggregates the mesh overlay's counters (zero value on the
 	// broadcast transport).
 	Gossip netsim.MeshStats
+	// Open-system measurements (DESIGN.md §14), identical on both
+	// executor paths: Offered counts every add attempted (accepted +
+	// rejected), Rejected the adds admission control (or validation)
+	// refused, Fairness is Jain's index over per-client acceptance
+	// ratios (1.0 when nothing was refused or all clients are served
+	// equally). DeferredTxs/ExpiredTxs sum the delay policy's deferred
+	// queue traffic across every node's mempool.
+	Offered     uint64
+	Rejected    uint64
+	Fairness    float64
+	DeferredTxs uint64
+	ExpiredTxs  uint64
 }
 
 // deployConfig derives the server options and ledger config a defaulted
@@ -292,6 +332,20 @@ func deployConfig(sc Scenario) (core.Options, ledger.Config) {
 		Mempool:   mempool.PaperConfig(),
 		Transport: sc.Transport,
 		Fanout:    sc.Fanout,
+	}
+	if sc.Admission.Policy != "" {
+		lcfg.Mempool.Admission = mempool.AdmissionConfig{
+			Policy:      sc.Admission.Policy,
+			Watermark:   sc.Admission.Watermark,
+			MaxDelay:    sc.Admission.MaxDelay,
+			MaxDeferred: sc.Admission.MaxDeferred,
+		}
+		if sc.Admission.MaxTxs > 0 {
+			lcfg.Mempool.MaxTxs = sc.Admission.MaxTxs
+		}
+		if sc.Admission.MaxBytes > 0 {
+			lcfg.Mempool.MaxBytes = sc.Admission.MaxBytes
+		}
 	}
 	if sc.Mode == core.Full {
 		lcfg.Suite = setcrypto.Ed25519Suite{}
@@ -356,6 +410,8 @@ func runScenario(sc Scenario) *Result {
 		Tick:         sc.Tick,
 		FullPayloads: sc.Mode == core.Full,
 		TrackIDs:     true, // the invariant checker compares against these
+		Open:         sc.Open.Scaled(sc.Scale),
+		Seed:         sc.Seed,
 	})
 	d.Start()
 	gen.Start()
@@ -392,11 +448,20 @@ func runScenario(sc Scenario) *Result {
 	if d.Ledger.Mesh != nil {
 		res.Gossip = d.Ledger.Mesh.Stats()
 	}
+	res.Offered = gen.Offered()
+	res.Rejected = gen.Rejected()
+	res.Fairness = gen.Fairness()
+	for _, node := range d.Ledger.Nodes {
+		_, deferred, expired := node.Pool.AdmissionStats()
+		res.DeferredTxs += deferred
+		res.ExpiredTxs += expired
+	}
 	// Safety invariants are checked on EVERY scenario — chaos or not — so
 	// any run of any study doubles as a machine-checked safety argument.
 	res.Invariant = invariant.Check(d, invariant.Config{
 		Correct:         correctServerIDs(sc.Servers, sc.Byzantine),
 		Injected:        gen.InjectedIDs(),
+		Rejected:        gen.RejectedIDs(),
 		CommittedEpochs: rec.CommittedEpochSizes(),
 		Observer:        0,
 		FoldedEpochs:    rec.FoldedEpochs(),

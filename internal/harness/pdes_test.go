@@ -47,6 +47,11 @@ func pdesCells(t *testing.T, scale float64) []Scenario {
 		"chaos_crash", "chaos_partition", "chaos_majority", "chaos_lossy",
 		"soak_smoke",
 		"mesh_scale", "mesh_vs_broadcast", "mesh_chaos", "mesh_shards",
+		// The open_* families matter here because their extra randomness
+		// (zipf draws, churn timers) and the admission gate's pool-state
+		// reads are exactly the kind of order-sensitive state a partitioned
+		// executor could perturb (DESIGN.md §14).
+		"open_ramp", "open_skew", "open_churn",
 	} {
 		cells, err := EntryScenarios(entry, scale)
 		if err != nil {

@@ -62,6 +62,8 @@ func runShardedScenario(sc Scenario) *Result {
 		Sizes:        sc.Sizes,
 		Tick:         sc.Tick,
 		FullPayloads: sc.Mode == core.Full,
+		Open:         sc.Open.Scaled(sc.Scale),
+		Seed:         sc.Seed,
 	})
 	d.Start()
 	gen.Start()
@@ -124,6 +126,7 @@ func runShardedScenario(sc Scenario) *Result {
 		if err := invariant.Check(sd, invariant.Config{
 			Correct:         shardCorrectIDs(k, n, sc.Byzantine),
 			Injected:        gen.InjectedIDs(),
+			Rejected:        gen.RejectedIDs(),
 			CommittedEpochs: d.Recorders[k].CommittedEpochSizes(),
 			Observer:        d.Observer(k),
 			FoldedEpochs:    d.Recorders[k].FoldedEpochs(),
@@ -144,9 +147,17 @@ func runShardedScenario(sc Scenario) *Result {
 	}
 	res.NetMsgs = d.Net.Messages()
 	res.NetBytes = d.Net.BytesSent()
+	res.Offered = gen.Offered()
+	res.Rejected = gen.Rejected()
+	res.Fairness = gen.Fairness()
 	for _, sd := range d.Shards {
 		if sd.Ledger.Mesh != nil {
 			res.Gossip.Add(sd.Ledger.Mesh.Stats())
+		}
+		for _, node := range sd.Ledger.Nodes {
+			_, deferred, expired := node.Pool.AdmissionStats()
+			res.DeferredTxs += deferred
+			res.ExpiredTxs += expired
 		}
 	}
 	measureHeap(res, d)

@@ -20,7 +20,9 @@ func scaleCells(t *testing.T, scale float64) []Scenario {
 	// mesh_shards rides along: per-shard gossip overlays must be exactly
 	// as deterministic as the classic transport under fresh reruns and
 	// worker-pool widths.
-	for _, entry := range []string{"scale_tput", "scale_chaos", "mesh_shards"} {
+	// open_skew rides along too: the zipf stream's draws must land
+	// identically however the executor schedules the shards.
+	for _, entry := range []string{"scale_tput", "scale_chaos", "mesh_shards", "open_skew"} {
 		cells, err := EntryScenarios(entry, scale)
 		if err != nil {
 			t.Fatal(err)

@@ -57,6 +57,14 @@ type Config struct {
 	// Injected is the set of element ids the workload's clients created
 	// and servers accepted. Nil skips the fabrication check.
 	Injected map[wire.ElementID]struct{}
+	// Rejected is the set of element ids admission control refused
+	// (workload.Account.RejectedIDs). A rejected element must never
+	// appear in a committed epoch: the server returned an error to the
+	// client, so letting it commit anyway would break the admission
+	// contract. Rejected ids are deliberately NOT in Injected — they also
+	// trip the fabrication check — but this check names the violation
+	// precisely. Nil skips it.
+	Rejected map[wire.ElementID]struct{}
 	// CommittedEpochs maps epoch number → element count for every epoch
 	// the observer saw gain f+1 epoch-proofs on the ledger
 	// (metrics.Recorder.CommittedEpochSizes). Nil skips the loss check.
@@ -122,6 +130,14 @@ func Check(d *core.Deployment, cfg Config) error {
 					errs = append(errs, fmt.Errorf(
 						"server %d: invalid (bogus) element %v committed in epoch %d",
 						id, e.ID, ep.Number))
+				}
+				if cfg.Rejected != nil {
+					if _, rej := cfg.Rejected[e.ID]; rej {
+						errs = append(errs, fmt.Errorf(
+							"server %d: admission-rejected element %v committed in epoch %d",
+							id, e.ID, ep.Number))
+						continue // already flagged; skip the fabrication double-report
+					}
 				}
 				if cfg.Injected != nil {
 					if _, ok := cfg.Injected[e.ID]; !ok {

@@ -174,6 +174,91 @@ func TestCheckerNilSetsSkipOptionalChecks(t *testing.T) {
 	}
 }
 
+// runSmallAdmission is runSmall with a reject-policy admission gate
+// squeezed (30-tx pool) until the generator observes real rejections, and
+// the rejected-ID set handed to the checker.
+func runSmallAdmission(t *testing.T) (*core.Deployment, Config) {
+	t.Helper()
+	s := sim.New(1)
+	const n = 4
+	f := (n - 1) / 2
+	rec := metrics.New(s, metrics.LevelThroughput, n, f, 0)
+	mcfg := mempool.PaperConfig()
+	mcfg.MaxTxs = 30
+	mcfg.Admission = mempool.AdmissionConfig{Policy: mempool.AdmissionReject}
+	d := core.Deploy(s, n, ledger.Config{
+		Net:       netsim.DefaultLANConfig(),
+		Consensus: consensus.PaperParams(),
+		Mempool:   mcfg,
+	}, core.Options{
+		Algorithm:      core.Hashchain,
+		CollectorLimit: 100,
+		Costs:          core.PaperCostModel(),
+		F:              f,
+	}, rec)
+	gen := workload.New(d, rec, workload.Config{
+		Rate: 2000, Duration: 6 * time.Second, TrackIDs: true,
+	})
+	d.Start()
+	gen.Start()
+	s.RunUntil(25 * time.Second)
+	d.Stop()
+	if rec.TotalCommitted() == 0 {
+		t.Fatal("admission run committed nothing; checker would be vacuous")
+	}
+	if gen.Rejected() == 0 {
+		t.Fatal("admission run rejected nothing; the rejected-ID check would be vacuous")
+	}
+	return d, Config{
+		Correct:         []wire.NodeID{0, 1, 2, 3},
+		Injected:        gen.InjectedIDs(),
+		Rejected:        gen.RejectedIDs(),
+		CommittedEpochs: rec.CommittedEpochSizes(),
+		Observer:        0,
+	}
+}
+
+// The admission arm of the checker: a rejected element must not appear in
+// any committed epoch, and — the satellite's bookkeeping contract — the
+// rejected-ID set is disjoint from the injected one, so a committed
+// rejected element would also read as fabricated.
+func TestCheckerDetectsCommittedRejectedElement(t *testing.T) {
+	d, cfg := runSmallAdmission(t)
+	if err := Check(d, cfg); err != nil {
+		t.Fatalf("correct admission run violates invariants: %v", err)
+	}
+	for id := range cfg.Rejected {
+		if _, ok := cfg.Injected[id]; ok {
+			t.Fatalf("id %v booked both injected and rejected", id)
+		}
+	}
+	// Splice a rejected element into a committed epoch on one server: the
+	// checker must name the admission violation precisely.
+	var rejID wire.ElementID
+	for id := range cfg.Rejected {
+		rejID = id
+		break
+	}
+	ep := lastEpoch(t, d, 2)
+	forged := *ep.Elements[0]
+	forged.ID = rejID
+	ep.Elements[0] = &forged
+	err := Check(d, cfg)
+	if err == nil {
+		t.Fatal("checker stayed green with a rejected element committed")
+	}
+	if !strings.Contains(err.Error(), "admission-rejected") {
+		t.Fatalf("violation %q does not mention the admission rejection", err)
+	}
+	// Without the rejected set the same splice must still trip the
+	// fabrication check — rejected ids are deliberately NOT injected ids.
+	cfg.Rejected = nil
+	err = Check(d, cfg)
+	if err == nil || !strings.Contains(err.Error(), "fabricated") {
+		t.Fatalf("want fabrication fallback, got %v", err)
+	}
+}
+
 // runSmallCkpt is runSmall with checkpoint sealing enabled (every 2
 // epochs) and full history retained, so every digest recomputes end to
 // end and the checkpoint checker runs in its strictest mode.

@@ -55,6 +55,16 @@ func (n *Node) Append(tx *wire.Tx) bool {
 	return n.Pool.AddTx(tx)
 }
 
+// AdmitElement consults the mempool's admission policy for one incoming
+// client element (DESIGN.md §14). The Setchain server gates every add —
+// Vanilla's per-element transaction and the batch algorithms' collector
+// entries alike — through this one door BEFORE the element enters any
+// application state, so a refused element leaves no trace anywhere.
+// Always true with admission off.
+func (n *Node) AdmitElement() bool {
+	return n.Pool.AdmitElement()
+}
+
 // SetAppMsgHandler routes non-consensus network payloads (anything that is
 // not mempool gossip or a consensus message) to the application layer.
 func (n *Node) SetAppMsgHandler(h AppMsgHandler) { n.appMsg = h }

@@ -25,6 +25,9 @@ type Config struct {
 	// all peers once per interval, approximating CometBFT's continuous
 	// per-peer gossip without per-transaction message explosion.
 	GossipInterval time.Duration
+	// Admission enables backpressure below the hard caps (admission.go);
+	// the zero value leaves admission off.
+	Admission AdmissionConfig
 }
 
 // PaperConfig returns the evaluation's mempool settings.
@@ -82,6 +85,14 @@ type Mempool struct {
 	// with bcast installed, received transactions are NOT re-originated.
 	bcast func(payload any, size int)
 
+	// Admission-control state (admission.go): transactions parked by the
+	// delay policy, the single outstanding deadline timer, and counters.
+	deferred      []deferredTx
+	deferArmed    bool
+	admRejected   uint64
+	deferredTotal uint64
+	expired       uint64
+
 	// Stats.
 	admitted         uint64
 	rejected         uint64
@@ -107,6 +118,17 @@ func New(id wire.NodeID, s *sim.Simulator, net *netsim.Network, peers []wire.Nod
 	}
 	if cfg.GossipInterval == 0 {
 		cfg.GossipInterval = PaperConfig().GossipInterval
+	}
+	if cfg.Admission.Policy != "" {
+		if cfg.Admission.Watermark == 0 {
+			cfg.Admission.Watermark = 0.9
+		}
+		if cfg.Admission.MaxDelay == 0 {
+			cfg.Admission.MaxDelay = 5 * time.Second
+		}
+		if cfg.Admission.MaxDeferred == 0 {
+			cfg.Admission.MaxDeferred = 1024
+		}
 	}
 	return &Mempool{
 		id:      id,
@@ -134,7 +156,15 @@ func (m *Mempool) SetBroadcaster(b func(payload any, size int)) { m.bcast = b }
 
 // AddTx submits a transaction locally (the paper's BroadcastTxAsync path).
 // It validates, pools, and schedules gossip. Returns true if admitted.
+// Under the delay admission policy, submissions against a saturated pool
+// are parked in the bounded deferred queue instead (admission.go); under
+// the reject policy, saturation was already refused at the element gate,
+// and the transactions that still arrive here carry admitted elements
+// and enter using the watermark headroom.
 func (m *Mempool) AddTx(tx *wire.Tx) bool {
+	if m.cfg.Admission.Policy == AdmissionDelay && m.Saturated() {
+		return m.deferTx(tx)
+	}
 	return m.add(tx, true)
 }
 
@@ -251,6 +281,8 @@ func (m *Mempool) RemoveCommitted(height uint64, txs []*wire.Tx) {
 		m.tombstones = append(m.tombstones, tombstoneBatch{height: height, keys: keys})
 	}
 	m.compact()
+	// Commits free pool space: let deferred transactions in.
+	m.drainDeferred()
 }
 
 // PruneTombstonesBelow deletes tombstones for transactions committed at or

@@ -63,6 +63,20 @@ func Measurements(res *harness.Result) map[string]float64 {
 	if res.Committed > 0 {
 		m[spec.MetricMsgsPerCommit] = roundTo(float64(res.NetMsgs)/float64(res.Committed), 3)
 	}
+	// Open-system measurements (DESIGN.md §14). Gated on the open/admission
+	// knobs so closed-system cells — every pre-open artifact — keep a
+	// byte-identical measurement map.
+	if res.Scenario.Admission.Policy != "" || res.Scenario.Open.Enabled() {
+		// Scenario.SendFor already carries the scale by the time the
+		// executor stores it back into the Result.
+		if secs := res.Scenario.SendFor.Seconds(); secs > 0 {
+			m[spec.MetricOfferedRate] = roundTo(float64(res.Offered)/secs, 3)
+		}
+		if res.Offered > 0 {
+			m[spec.MetricRejectionRate] = roundTo(float64(res.Rejected)/float64(res.Offered), 4)
+		}
+		m[spec.MetricFairness] = roundTo(res.Fairness, 4)
+	}
 	return m
 }
 

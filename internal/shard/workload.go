@@ -3,19 +3,22 @@ package shard
 import (
 	"time"
 
-	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
 // The sharded workload generator IS internal/workload's injection shape
-// — it schedules through workload.Ticks and builds elements through
-// workload.BuildElement, so the timing and element construction cannot
-// fork from the single-instance generator — with one difference: after a
-// client creates an element, the ROUTER decides which shard commits it.
-// The client then adds it to its local-index server on the owning shard
-// (client i of any shard talks to server i of the target shard), and the
-// owning shard's recorder books the injection. Ids are always tracked:
-// the cross-shard checker needs the exact injected set.
+// — it schedules through workload.Ticks (or workload.OpenTicks for
+// open-system cells) and builds elements through workload.BuildElement,
+// so the timing and element construction cannot fork from the
+// single-instance generator — with one difference: after a client creates
+// an element, the ROUTER decides which shard commits it. The client then
+// adds it to its local-index server on the owning shard (client i of any
+// shard talks to server i of the target shard), and the owning shard's
+// recorder books the injection. Ids are always tracked: the cross-shard
+// checker needs the exact injected set. All accounting — accepted,
+// rejected, offered, fairness — goes through the same workload.Account
+// the single-instance generator uses, so admission rejections surface
+// identically on both executor paths.
 
 // WorkloadConfig drives a sharded generation run; the fields mirror
 // workload.Config.
@@ -31,6 +34,11 @@ type WorkloadConfig struct {
 	Tick time.Duration
 	// FullPayloads creates real signed payloads (Full mode deployments).
 	FullPayloads bool
+	// Open adds open-system dynamics (workload.OpenConfig); the zero
+	// value is the closed system.
+	Open workload.OpenConfig
+	// Seed keys the open extension's ChildSeed streams.
+	Seed int64
 }
 
 // Generator injects a routed workload into a sharded deployment.
@@ -38,10 +46,9 @@ type Generator struct {
 	cfg WorkloadConfig
 	d   *Deployment
 
-	injected uint64
-	rejected uint64
+	// Account books every attempt; its accessors are promoted.
+	*workload.Account
 	perShard []uint64
-	ids      map[wire.ElementID]struct{}
 	done     bool
 }
 
@@ -57,7 +64,7 @@ func NewGenerator(d *Deployment, cfg WorkloadConfig) *Generator {
 		cfg:      cfg,
 		d:        d,
 		perShard: make([]uint64, d.Count()),
-		ids:      make(map[wire.ElementID]struct{}),
+		Account:  workload.NewAccount(d.Count()*d.Servers, true),
 	}
 }
 
@@ -69,10 +76,13 @@ func NewGenerator(d *Deployment, cfg WorkloadConfig) *Generator {
 func (g *Generator) Start() {
 	s := g.d.Sim
 	clients := g.d.Count() * g.d.Servers
-	perClient := g.cfg.Rate / float64(clients)
-	workload.Ticks(s, clients, perClient, g.cfg.Duration, g.cfg.Tick, func(c int) {
-		g.injectOne(c/g.d.Servers, c%g.d.Servers)
-	})
+	inject := func(c int) { g.injectOne(c/g.d.Servers, c%g.d.Servers) }
+	if g.cfg.Open.Enabled() {
+		workload.OpenTicks(s, g.cfg.Seed, clients, g.cfg.Rate, g.cfg.Duration, g.cfg.Tick, g.cfg.Open, inject)
+	} else {
+		perClient := g.cfg.Rate / float64(clients)
+		workload.Ticks(s, clients, perClient, g.cfg.Duration, g.cfg.Tick, inject)
+	}
 	s.At(g.cfg.Duration, func() {
 		g.done = true
 		g.d.Drain()
@@ -86,28 +96,17 @@ func (g *Generator) injectOne(k, i int) {
 	e := workload.BuildElement(g.d.Sim, cl, g.cfg.Sizes, g.cfg.FullPayloads)
 	target := Route(e.ID, g.d.Count())
 	if err := g.d.Shards[target].Servers[i].Add(e); err != nil {
-		g.rejected++
+		g.Account.Reject(e, k*g.d.Servers+i)
 		return
 	}
-	g.injected++
+	g.Account.Accept(e, k*g.d.Servers+i)
 	g.perShard[target]++
-	g.ids[e.ID] = struct{}{}
 	g.d.Recorders[target].Injected(e)
 }
-
-// Injected returns how many elements were accepted across all shards.
-func (g *Generator) Injected() uint64 { return g.injected }
-
-// Rejected returns how many adds the servers refused.
-func (g *Generator) Rejected() uint64 { return g.rejected }
 
 // PerShardInjected returns the accepted count per shard (the router's
 // observed balance). The slice is live state; treat it as read-only.
 func (g *Generator) PerShardInjected() []uint64 { return g.perShard }
-
-// InjectedIDs returns the ids of every accepted element. The map is live
-// state; treat it as read-only.
-func (g *Generator) InjectedIDs() map[wire.ElementID]struct{} { return g.ids }
 
 // Done reports whether the injection window has closed.
 func (g *Generator) Done() bool { return g.done }

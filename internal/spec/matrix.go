@@ -149,6 +149,44 @@ func Set(s *ScenarioSpec, key, value string) error {
 			return fail(err)
 		}
 		s.HeapCeilingMB = v
+	case "zipf":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fail(err)
+		}
+		openOf(s).Zipf = v
+	case "churn_on", "churn":
+		v, err := parseDuration(value)
+		if err != nil {
+			return fail(err)
+		}
+		openOf(s).ChurnOn = v
+	case "churn_off":
+		v, err := parseDuration(value)
+		if err != nil {
+			return fail(err)
+		}
+		openOf(s).ChurnOff = v
+	case "admission", "policy":
+		admissionOf(s).Policy = strings.ToLower(value)
+	case "watermark":
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fail(err)
+		}
+		admissionOf(s).Watermark = v
+	case "max_txs":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		admissionOf(s).MaxTxs = v
+	case "max_bytes":
+		v, err := strconv.Atoi(value)
+		if err != nil {
+			return fail(err)
+		}
+		admissionOf(s).MaxBytes = v
 	case "drop":
 		v, err := strconv.ParseFloat(value, 64)
 		if err != nil {
@@ -181,7 +219,28 @@ var overrideKeys = []string{
 	"send_for", "horizon", "network_delay", "bandwidth", "seed", "scale",
 	"metrics", "crypto", "faulty", "behaviors", "inject_count",
 	"checkpoint_interval", "prune", "heap_ceiling_mb",
+	"zipf", "churn_on", "churn_off", "admission", "watermark",
+	"max_txs", "max_bytes",
 	"drop", "duplicate", "reorder",
+}
+
+// openOf finds (or creates) the spec's open-system block for the
+// zipf/churn override keys.
+func openOf(s *ScenarioSpec) *OpenSpec {
+	if s.Open == nil {
+		s.Open = &OpenSpec{}
+	}
+	return s.Open
+}
+
+// admissionOf finds (or creates) the spec's admission block. The bare
+// watermark/cap keys default the policy to "reject" so a single matrix
+// axis like max_txs=200,400,800 is runnable on its own.
+func admissionOf(s *ScenarioSpec) *AdmissionSpec {
+	if s.Admission == nil {
+		s.Admission = &AdmissionSpec{Policy: AdmissionReject}
+	}
+	return s.Admission
 }
 
 // baseLinkEvent finds (or creates) the spec's time-zero all-links fault
@@ -261,6 +320,15 @@ func Expand(cells []ScenarioSpec, axes ...Axis) ([]ScenarioSpec, error) {
 				if c.Faults != nil {
 					f := FaultSpec{Events: append([]FaultEventSpec(nil), c.Faults.Events...)}
 					c.Faults = &f
+				}
+				if c.Open != nil {
+					o := *c.Open
+					o.Envelope = append([]RatePhaseSpec(nil), c.Open.Envelope...)
+					c.Open = &o
+				}
+				if c.Admission != nil {
+					a := *c.Admission
+					c.Admission = &a
 				}
 				if err := Set(&c, ax.Key, v); err != nil {
 					return nil, err

@@ -32,6 +32,9 @@ const (
 	MetricCkptSeals     = "checkpoint_seals" // pruning checkpoints the observer sealed
 	MetricSyncInstalls  = "sync_installs"    // servers recovered via checkpoint state-sync
 	MetricMsgsPerCommit = "msgs_per_commit"  // network messages per committed element
+	MetricOfferedRate   = "offered_rate"     // open-system: offered load in el/s
+	MetricRejectionRate = "rejection_rate"   // open-system: rejected/offered fraction
+	MetricFairness      = "fairness"         // open-system: Jain index over per-client acceptance
 )
 
 // Metrics lists every valid Reference metric name.
@@ -40,6 +43,7 @@ var Metrics = []string{
 	MetricEffSend, MetricEff15x, MetricEff2x, MetricAnalytic,
 	MetricCommitFirstS, MetricCommit50pS, MetricP50CommitS, MetricP99CommitS,
 	MetricCkptSeals, MetricSyncInstalls, MetricMsgsPerCommit,
+	MetricOfferedRate, MetricRejectionRate, MetricFairness,
 }
 
 // Reference sources — where the expected value comes from.

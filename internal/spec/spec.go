@@ -116,6 +116,63 @@ type WorkloadSpec struct {
 	Tick Duration `json:"tick,omitempty"`
 }
 
+// Admission policy names (AdmissionSpec.Policy); see DESIGN.md §14.
+const (
+	AdmissionReject = "reject" // refuse new elements while saturated
+	AdmissionDelay  = "delay"  // park their transactions, bounded queue + deadline
+)
+
+// RatePhaseSpec is one piece of an open-system rate envelope: from From
+// onward the base rate is multiplied by Mult (until the next phase).
+type RatePhaseSpec struct {
+	From Duration `json:"from"`
+	Mult float64  `json:"mult"`
+}
+
+// OpenSpec configures open-system workload dynamics (DESIGN.md §14):
+// Zipf hot-key skew over element sources, session churn, and bursty or
+// diurnal rate envelopes. Nil keeps the closed system; the zero value of
+// each field disables that dynamic, so pre-open specs and artifacts
+// round-trip unchanged.
+type OpenSpec struct {
+	// Zipf is the source-skew exponent α: each arrival draws its source
+	// client with P(rank k) ∝ 1/(k+1)^α. 0 = uniform sources.
+	Zipf float64 `json:"zipf,omitempty"`
+	// ChurnOn is the mean in-session time; > 0 cycles every client
+	// through exponential on/off sessions (arrivals for departed clients
+	// are dropped — the load disappears with the client).
+	ChurnOn Duration `json:"churn_on,omitempty"`
+	// ChurnOff is the mean departed time (defaults to ChurnOn).
+	ChurnOff Duration `json:"churn_off,omitempty"`
+	// Envelope shapes the aggregate rate over the send window; phases
+	// must be in ascending From order.
+	Envelope []RatePhaseSpec `json:"envelope,omitempty"`
+}
+
+// AdmissionSpec enables mempool admission control (DESIGN.md §14): when
+// the pool crosses Watermark × its caps, new elements are refused
+// ("reject") or their transactions parked in a bounded deferred queue
+// ("delay"). Nil keeps admission off. MaxTxs/MaxBytes override the
+// paper's pool caps, which are far too large to ever saturate — an
+// admission experiment picks caps the workload can actually reach.
+type AdmissionSpec struct {
+	// Policy is "reject" or "delay".
+	Policy string `json:"policy"`
+	// Watermark is the saturation threshold as a fraction of the pool
+	// caps (default 0.9); the gap to 1.0 is headroom for transactions
+	// carrying already-admitted elements.
+	Watermark float64 `json:"watermark,omitempty"`
+	// MaxTxs / MaxBytes override the pool caps (0 keeps the paper's
+	// 10,000,000 txs / 2 GB).
+	MaxTxs   int `json:"max_txs,omitempty"`
+	MaxBytes int `json:"max_bytes,omitempty"`
+	// MaxDelay bounds a deferred transaction's wait (delay policy;
+	// default 5s).
+	MaxDelay Duration `json:"max_delay,omitempty"`
+	// MaxDeferred caps the deferred queue (delay policy; default 1024).
+	MaxDeferred int `json:"max_deferred,omitempty"`
+}
+
 // ByzantineSpec configures faulty servers. The highest-indexed Faulty
 // servers of the deployment run every listed behavior (server 0, the
 // metrics observer, always stays correct).
@@ -198,6 +255,13 @@ type ScenarioSpec struct {
 	Crypto string `json:"crypto,omitempty"`
 	// Workload shapes the element stream; nil uses the paper's model.
 	Workload *WorkloadSpec `json:"workload,omitempty"`
+	// Open adds open-system dynamics — Zipf source skew, session churn,
+	// rate envelopes; nil keeps the closed system (and stays unset so
+	// pre-open specs and artifacts round-trip unchanged).
+	Open *OpenSpec `json:"open,omitempty"`
+	// Admission enables mempool admission control; nil keeps it off
+	// (zero-stays-unset, same round-trip contract as Open).
+	Admission *AdmissionSpec `json:"admission,omitempty"`
 	// Byzantine configures faulty servers; nil means all correct.
 	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
 	// Faults schedules network fault injection (crash/restart, partition/
@@ -268,6 +332,29 @@ func (s ScenarioSpec) WithDefaults() ScenarioSpec {
 			w.Tick = Duration(10 * time.Millisecond)
 		}
 		s.Workload = &w
+	}
+	if s.Open != nil {
+		o := *s.Open
+		if o.ChurnOn > 0 && o.ChurnOff == 0 {
+			o.ChurnOff = o.ChurnOn
+		}
+		o.Envelope = append([]RatePhaseSpec(nil), o.Envelope...)
+		s.Open = &o
+	}
+	if s.Admission != nil {
+		a := *s.Admission
+		if a.Watermark == 0 {
+			a.Watermark = 0.9
+		}
+		if a.Policy == AdmissionDelay {
+			if a.MaxDelay == 0 {
+				a.MaxDelay = Duration(5 * time.Second)
+			}
+			if a.MaxDeferred == 0 {
+				a.MaxDeferred = 1024
+			}
+		}
+		s.Admission = &a
 	}
 	if s.Byzantine != nil {
 		b := *s.Byzantine
@@ -381,6 +468,47 @@ func (s ScenarioSpec) Validate() error {
 		}
 		if w.SizeMax != 0 && w.SizeMin > w.SizeMax {
 			return fmt.Errorf("workload size_min %d > size_max %d", w.SizeMin, w.SizeMax)
+		}
+	}
+	if o := s.Open; o != nil {
+		if o.Zipf < 0 || o.Zipf > 8 {
+			return fmt.Errorf("open zipf must be in [0, 8], got %g", o.Zipf)
+		}
+		if o.ChurnOn < 0 || o.ChurnOff < 0 {
+			return fmt.Errorf("open churn durations must be >= 0")
+		}
+		if o.ChurnOff > 0 && o.ChurnOn == 0 {
+			return fmt.Errorf("open churn_off without churn_on (no sessions to leave)")
+		}
+		for i, p := range o.Envelope {
+			if p.From < 0 {
+				return fmt.Errorf("open envelope phase %d: from must be >= 0", i)
+			}
+			if p.Mult < 0 {
+				return fmt.Errorf("open envelope phase %d: mult must be >= 0, got %g", i, p.Mult)
+			}
+			if i > 0 && p.From <= o.Envelope[i-1].From {
+				return fmt.Errorf("open envelope phases must have strictly ascending from times")
+			}
+		}
+	}
+	if a := s.Admission; a != nil {
+		switch a.Policy {
+		case AdmissionReject, AdmissionDelay:
+		case "":
+			return fmt.Errorf("admission policy missing (want %q or %q)", AdmissionReject, AdmissionDelay)
+		default:
+			return fmt.Errorf("unknown admission policy %q (want %q or %q)",
+				a.Policy, AdmissionReject, AdmissionDelay)
+		}
+		if a.Watermark < 0 || a.Watermark > 1 {
+			return fmt.Errorf("admission watermark must be in (0, 1], got %g", a.Watermark)
+		}
+		if a.MaxTxs < 0 || a.MaxBytes < 0 || a.MaxDeferred < 0 {
+			return fmt.Errorf("admission caps must be >= 0")
+		}
+		if a.MaxDelay < 0 {
+			return fmt.Errorf("admission max_delay must be >= 0")
 		}
 	}
 	if b := s.Byzantine; b != nil {

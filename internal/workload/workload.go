@@ -84,6 +84,12 @@ type Config struct {
 	// what was injected (no fabrication, no loss). Costs one map insert
 	// per element; the harness always enables it.
 	TrackIDs bool
+	// Open adds open-system dynamics — Zipf source skew, session churn,
+	// rate envelopes (open.go). The zero value is the closed system.
+	Open OpenConfig
+	// Seed keys the open extension's dedicated ChildSeed streams; only
+	// consulted when Open is enabled.
+	Seed int64
 }
 
 // Generator injects the workload into a deployment.
@@ -92,10 +98,10 @@ type Generator struct {
 	d   *core.Deployment
 	rec *metrics.Recorder
 
-	injected uint64
-	rejected uint64
-	ids      map[wire.ElementID]struct{}
-	done     bool
+	// Account books every attempt (accepted/rejected/offered, ids,
+	// fairness); its accessors are promoted onto the generator.
+	*Account
+	done bool
 }
 
 // New creates a generator for the deployment; rec may be nil.
@@ -106,19 +112,22 @@ func New(d *core.Deployment, rec *metrics.Recorder, cfg Config) *Generator {
 	if cfg.Tick == 0 {
 		cfg.Tick = 10 * time.Millisecond
 	}
-	g := &Generator{cfg: cfg, d: d, rec: rec}
-	if cfg.TrackIDs {
-		g.ids = make(map[wire.ElementID]struct{})
-	}
-	return g
+	return &Generator{cfg: cfg, d: d, rec: rec,
+		Account: NewAccount(len(d.Clients), cfg.TrackIDs)}
 }
 
 // Start schedules the injection. Clients add elements from virtual time 0
 // until cfg.Duration, then the generator drains the servers' collectors.
+// Open-system dynamics, when configured, route through OpenTicks — the
+// same staggered-slot loop with the envelope/skew/churn seams opened.
 func (g *Generator) Start() {
 	s := g.d.Sim
-	perClient := g.cfg.Rate / float64(len(g.d.Clients))
-	Ticks(s, len(g.d.Clients), perClient, g.cfg.Duration, g.cfg.Tick, g.injectOne)
+	if g.cfg.Open.Enabled() {
+		OpenTicks(s, g.cfg.Seed, len(g.d.Clients), g.cfg.Rate, g.cfg.Duration, g.cfg.Tick, g.cfg.Open, g.injectOne)
+	} else {
+		perClient := g.cfg.Rate / float64(len(g.d.Clients))
+		Ticks(s, len(g.d.Clients), perClient, g.cfg.Duration, g.cfg.Tick, g.injectOne)
+	}
 	s.At(g.cfg.Duration, func() {
 		g.done = true
 		g.d.Drain()
@@ -133,6 +142,20 @@ func (g *Generator) Start() {
 // integer bursts per tick with a fractional carry, preserving per-second
 // totals at any rate.
 func Ticks(s *sim.Simulator, n int, perClient float64, duration, tick time.Duration, inject func(client int)) {
+	RatedTicks(s, n, func(int, time.Duration) float64 { return perClient }, duration, tick, inject)
+}
+
+// RatedTicks is Ticks with a time-varying per-client rate: each tick asks
+// rate(client, now) for the current el/s before updating the carry. With
+// a constant-rate closure the arithmetic is bit-for-bit the closed loop
+// (same offsets, same carry sequence), which is what keeps the open
+// extension from forking the workload's timing definition.
+func RatedTicks(s *sim.Simulator, n int, rate func(client int, now time.Duration) float64, duration, tick time.Duration, inject func(client int)) {
+	if tick <= 0 {
+		// A zero tick would re-arm at the current instant forever; fall
+		// back to the generators' default instead of wedging the simulator.
+		tick = 10 * time.Millisecond
+	}
 	for i := 0; i < n; i++ {
 		i := i
 		offset := time.Duration(s.Rand().Int63n(int64(tick) + 1))
@@ -142,7 +165,7 @@ func Ticks(s *sim.Simulator, n int, perClient float64, duration, tick time.Durat
 			if s.Now() >= duration {
 				return
 			}
-			carry += perClient * tick.Seconds()
+			carry += rate(i, s.Now()) * tick.Seconds()
 			burst := int(carry)
 			carry -= float64(burst)
 			for k := 0; k < burst; k++ {
@@ -180,27 +203,14 @@ func BuildElement(s *sim.Simulator, cl *core.Client, sizes SizeModel, fullPayloa
 func (g *Generator) injectOne(i int) {
 	e := BuildElement(g.d.Sim, g.d.Clients[i], g.cfg.Sizes, g.cfg.FullPayloads)
 	if err := g.d.Servers[i].Add(e); err != nil {
-		g.rejected++
+		g.Account.Reject(e, i)
 		return
 	}
-	g.injected++
-	if g.ids != nil {
-		g.ids[e.ID] = struct{}{}
-	}
+	g.Account.Accept(e, i)
 	if g.rec != nil {
 		g.rec.Injected(e)
 	}
 }
-
-// Injected returns how many elements were accepted by servers.
-func (g *Generator) Injected() uint64 { return g.injected }
-
-// InjectedIDs returns the ids of every accepted element, or nil unless
-// Config.TrackIDs was set. The map is live state; treat it as read-only.
-func (g *Generator) InjectedIDs() map[wire.ElementID]struct{} { return g.ids }
-
-// Rejected returns how many adds the servers refused.
-func (g *Generator) Rejected() uint64 { return g.rejected }
 
 // Done reports whether the injection window has closed.
 func (g *Generator) Done() bool { return g.done }
