@@ -67,6 +67,15 @@ func CorruptProofs() *core.Behavior {
 	return &core.Behavior{CorruptProofs: true}
 }
 
+// ForgeSnapshot returns behavior that corrupts every state-sync snapshot
+// the server serves: a fabricated checkpoint is appended that smuggles
+// bogus elements past the requester's local knowledge, attached to the
+// legitimate commit certificate. The certified header fold check rejects
+// it (DESIGN.md §15); with that check sabotaged, the forgery installs.
+func ForgeSnapshot() *core.Behavior {
+	return &core.Behavior{ForgeSnapshot: true}
+}
+
 // Combine merges several behaviors into one (later behaviors win for
 // scalar fields; RefuseServe predicates are OR-ed).
 func Combine(bs ...*core.Behavior) *core.Behavior {
@@ -84,6 +93,9 @@ func Combine(bs ...*core.Behavior) *core.Behavior {
 		}
 		if b.CorruptProofs {
 			out.CorruptProofs = true
+		}
+		if b.ForgeSnapshot {
+			out.ForgeSnapshot = true
 		}
 		if b.InjectBogusElements > out.InjectBogusElements {
 			out.InjectBogusElements = b.InjectBogusElements

@@ -98,6 +98,32 @@ func (c Checkpoint) Same(o Checkpoint) bool {
 	return c.Epoch == o.Epoch && c.Elements == o.Elements && c.Digest == o.Digest
 }
 
+// FoldChain commits to an entire checkpoint chain as one word: every
+// entry's content identity — Epoch, Elements, Digest; Height is per-server
+// and excluded, matching Same — folded in ascending order from Seed().
+// This is the header commitment consensus binds into certified block
+// headers (DESIGN.md §15): a proposer stamps its current fold, the 2f+1
+// commit certificate covers it, and a state-syncing node accepts a peer's
+// snapshot only if the offered chain folds to a certified value — so
+// forging ANY chain entry, not just the latest, breaks the binding. An
+// empty chain folds to Seed().
+func FoldChain(chain []Checkpoint) uint64 {
+	h := Seed()
+	for _, c := range chain {
+		h = FoldEntry(h, c)
+	}
+	return h
+}
+
+// FoldEntry extends a chain fold with one checkpoint. Sealing is
+// append-only, so a server can maintain its current fold incrementally:
+// FoldChain(chain[:m+1]) == FoldEntry(FoldChain(chain[:m]), chain[m]).
+func FoldEntry(h uint64, c Checkpoint) uint64 {
+	h = Mix64(h, c.Epoch)
+	h = Mix64(h, c.Elements)
+	return Mix64(h, c.Digest)
+}
+
 // Snapshot is a state-sync payload: the serving peer's checkpoint chain
 // plus its application state as of the latest checkpoint's seal height.
 // The simulation ships Go references in State; Bytes models the wire size

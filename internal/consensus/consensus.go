@@ -28,6 +28,7 @@ package consensus
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
@@ -106,13 +107,58 @@ type BlockResponse struct {
 	Commit   []*Vote
 }
 
-// SyncResponse answers a deep catch-up BlockRequest the peer can no longer
+// SyncOffer answers a deep catch-up BlockRequest the peer can no longer
 // serve block-by-block (the height is below its prune horizon, or outside
-// its decided-proposal window): the peer's latest checkpoint snapshot. The
-// requester verifies and installs it (StateSyncer.InstallSync), jumps to
-// the checkpoint's height, and replays only the block suffix.
-type SyncResponse struct {
+// its decided-proposal window). It replaces the old single-blob
+// SyncResponse: the offer carries only the snapshot's identity, checkpoint
+// chain, and the certified block header binding that chain (a decided
+// proposal whose CkptEpoch/CkptFold equal the snapshot's, plus its 2f+1
+// precommit certificate); the state itself transfers in fixed-size chunks
+// (SyncChunkRequest/SyncChunk) so bandwidth caps and link faults shape
+// real state-sync latency. The requester verifies the certificate and the
+// fold binding BEFORE fetching a single chunk.
+type SyncOffer struct {
 	Snapshot *checkpoint.Snapshot
+	// Proposal/Commit certify the header that binds the snapshot's chain:
+	// Proposal.Block.CkptEpoch == Snapshot.Last.Epoch and
+	// Proposal.Block.CkptFold == checkpoint.FoldChain(Snapshot.Chain).
+	Proposal *Proposal
+	Commit   []*Vote
+	// Chunks and ChunkBytes describe the transfer: Chunks fixed-size
+	// envelopes of ChunkBytes each (the last possibly smaller), covering
+	// Snapshot.Bytes modeled bytes in total.
+	Chunks     int
+	ChunkBytes int
+}
+
+// SyncChunkRequest asks the offering peer for one snapshot chunk. Epoch
+// and Fold name the snapshot (its Last.Epoch and chain fold) so a stale
+// request cannot pull chunks of a different snapshot.
+type SyncChunkRequest struct {
+	Epoch uint64
+	Fold  uint64
+	Seq   int
+}
+
+// SyncChunk is one fixed-size slice of a snapshot transfer. Size is the
+// modeled payload bytes charged through netsim; Sum is the per-chunk
+// digest the requester verifies before accepting the chunk (the
+// simulation ships state by reference in the offer, so the digest models
+// per-chunk hash verification).
+type SyncChunk struct {
+	Epoch uint64
+	Fold  uint64
+	Seq   int
+	Size  int
+	Sum   uint64
+}
+
+// chunkSum is the modeled per-chunk digest: snapshot identity + sequence
+// + size, folded with the checkpoint digest idiom.
+func chunkSum(fold uint64, seq, size int) uint64 {
+	h := checkpoint.Mix64(checkpoint.Seed(), fold)
+	h = checkpoint.Mix64(h, uint64(seq))
+	return checkpoint.Mix64(h, uint64(size))
 }
 
 // StateSyncer is the application side of checkpoint state-sync: the
@@ -124,7 +170,69 @@ type StateSyncer interface {
 	SyncSnapshot() (*checkpoint.Snapshot, bool)
 	// InstallSync verifies a peer snapshot against local state and adopts
 	// it, returning false (state untouched) when stale or inconsistent.
+	// The certificate binding the snapshot to a quorum-signed header is
+	// verified by consensus before this is called (DESIGN.md §15).
 	InstallSync(snap *checkpoint.Snapshot) bool
+	// HeaderCommitment returns the latest sealed checkpoint epoch and the
+	// fold of the chain through it (0, checkpoint.Seed() before any seal);
+	// proposers stamp it into every block header.
+	HeaderCommitment() (epoch, fold uint64)
+	// VerifyCommitment checks a proposed header's claimed commitment
+	// against local sealing: a claim at or below the local seal horizon
+	// must match the local chain prefix exactly; a claim ahead of local
+	// sealing is accepted (the quorum vets it — a validator cannot
+	// falsify state it has not reached).
+	VerifyCommitment(epoch, fold uint64) bool
+}
+
+// SnapshotForger is implemented by Byzantine applications that corrupt
+// the snapshot they serve while reusing the legitimate certificate (the
+// forged-snapshot attack the header binding exists to stop). A nil return
+// serves the snapshot unmodified.
+type SnapshotForger interface {
+	ForgeSyncSnapshot(snap *checkpoint.Snapshot) *checkpoint.Snapshot
+}
+
+// BreakHeaderBindForTest disables the requester-side verification of
+// state-sync offers — the certificate check and the chain-fold binding —
+// restoring the pre-fix trust hole. Sabotage tests flip it to prove the
+// verification is non-vacuous: a forged snapshot MUST install with the
+// check broken and MUST be rejected with it intact. Never set outside
+// tests.
+var BreakHeaderBindForTest bool
+
+// syncFetch is an in-flight chunked snapshot transfer on the requester:
+// the verified offer, the serving peer, and the received-chunk bitmap
+// that makes the transfer resumable — a re-offer or retry resumes from
+// the first missing chunk instead of restarting.
+type syncFetch struct {
+	snap       *checkpoint.Snapshot
+	from       wire.NodeID
+	epoch      uint64
+	fold       uint64
+	chunks     int
+	chunkBytes int
+	got        []bool
+	ngot       int
+}
+
+// next returns the first missing chunk sequence (chunks are requested one
+// at a time, ascending, so this is also the resume point).
+func (f *syncFetch) next() int {
+	for i, ok := range f.got {
+		if !ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// syncChunkCount is the envelope count for a snapshot of size bytes.
+func syncChunkCount(bytes, chunkBytes int) int {
+	if bytes <= 0 {
+		return 1
+	}
+	return (bytes + chunkBytes - 1) / chunkBytes
 }
 
 // voteWireSize approximates a consensus vote's bytes on the wire.
@@ -152,6 +260,10 @@ type Params struct {
 	TimeoutPrecommit time.Duration
 	// TimeoutDelta is the per-round escalation added to each timeout.
 	TimeoutDelta time.Duration
+	// SyncChunkBytes is the fixed chunk size of state-sync snapshot
+	// transfers (default 64 KiB). Snapshots ship as ceil(Bytes/chunk)
+	// envelopes, each charged through netsim individually.
+	SyncChunkBytes int
 }
 
 // PaperParams returns the evaluation configuration (C = 0.5 MiB, one block
@@ -164,6 +276,7 @@ func PaperParams() Params {
 		TimeoutPrevote:   time.Second,
 		TimeoutPrecommit: time.Second,
 		TimeoutDelta:     500 * time.Millisecond,
+		SyncChunkBytes:   64 * 1024,
 	}
 }
 
@@ -186,6 +299,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.TimeoutDelta == 0 {
 		p.TimeoutDelta = d.TimeoutDelta
+	}
+	if p.SyncChunkBytes == 0 {
+		p.SyncChunkBytes = d.SyncChunkBytes
 	}
 	return p
 }
@@ -310,12 +426,40 @@ type Node struct {
 	// state-sync; deep catch-up then only works within the decided window).
 	syncer       StateSyncer
 	syncInstalls uint64
+	// syncRejects counts state-sync offers dropped by the certified-header
+	// verification (bad certificate, or a chain that does not fold to the
+	// certified commitment) — the forged-snapshot defense firing.
+	syncRejects uint64
+
+	// Serve side of chunked state-sync: servableSnap is the newest local
+	// snapshot for which a commit certificate binding its chain fold was
+	// observed (commit() refreshes it); servableProp/servableCert are that
+	// certificate. serveSnap/serveFold name the snapshot most recently
+	// offered — the chunk source — which under a Byzantine SnapshotForger
+	// differs from servableSnap.
+	servableSnap *checkpoint.Snapshot
+	servableProp *Proposal
+	servableCert []*Vote
+	serveSnap    *checkpoint.Snapshot
+	serveFold    uint64
+
+	// Fetch side of chunked state-sync: the offer being assembled, nil
+	// when no transfer is in flight. The catch-up retry timer doubles as
+	// the resumption engine — a lost chunk is re-requested on the next
+	// retry tick, resuming from the received bitmap instead of restarting.
+	fetch *syncFetch
 
 	// Deep catch-up state: the highest height observed in buffered future
 	// messages and whether a certified-block request is in flight.
+	// catchupRetries counts consecutive unproductive retries for the
+	// bounded exponential backoff; catchupRng is its jitter stream, a
+	// dedicated sim.ChildSeed stream drawn from ONLY on actual retries so
+	// runs where every catch-up resolves first try stay byte-identical.
 	futureHeight   uint64
 	futureSender   wire.NodeID
 	catchupPending bool
+	catchupRetries int
+	catchupRng     *rand.Rand
 	stopped        bool
 	mutator        ProposalMutator
 	onCommit       CommitListener
@@ -435,6 +579,10 @@ func (n *Node) HeightCommitted() uint64 { return n.chainBase + uint64(len(n.chai
 
 // SyncInstalls returns how many checkpoint snapshots this node installed.
 func (n *Node) SyncInstalls() uint64 { return n.syncInstalls }
+
+// SyncRejects returns how many state-sync offers this node rejected at
+// the certified-header check (forged or unprovable snapshots).
+func (n *Node) SyncRejects() uint64 { return n.syncRejects }
 
 // RoundsUsed returns the cumulative number of extra rounds consumed (0 when
 // every height decides in round 0).
@@ -559,11 +707,17 @@ func (n *Node) timeout(base time.Duration, round int32) time.Duration {
 	return base + time.Duration(round)*n.params.TimeoutDelta
 }
 
-func (n *Node) blockID(height uint64, round int32, proposer wire.NodeID, txs []*wire.Tx) string {
+// blockID hashes a block's full header identity, INCLUDING the checkpoint
+// commitment (CkptEpoch, CkptFold): prevotes and precommits are cast on
+// the id, so a 2f+1 commit certificate certifies the commitment — the
+// root of trust for state-sync verification (DESIGN.md §15).
+func (n *Node) blockID(height uint64, round int32, proposer wire.NodeID, ckptEpoch, ckptFold uint64, txs []*wire.Tx) string {
 	buf := n.keyBuf[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, height)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(round))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(proposer))
+	buf = binary.LittleEndian.AppendUint64(buf, ckptEpoch)
+	buf = binary.LittleEndian.AppendUint64(buf, ckptFold)
 	for _, tx := range txs {
 		buf = tx.AppendKey(buf)
 	}
@@ -604,12 +758,21 @@ func (n *Node) propose(r int32) {
 	for _, tx := range txs {
 		bytes += tx.WireSize()
 	}
-	block := &wire.Block{Height: n.height, Proposer: n.id, Txs: txs, Bytes: bytes}
+	// Stamp the application's checkpoint commitment into the header. App
+	// state at propose time is event-deterministic, so correct proposers
+	// stamp values every correct validator can verify against its own
+	// chain prefix (or accept as ahead of its sealing).
+	ckptEpoch, ckptFold := uint64(0), checkpoint.Seed()
+	if n.syncer != nil {
+		ckptEpoch, ckptFold = n.syncer.HeaderCommitment()
+	}
+	block := &wire.Block{Height: n.height, Proposer: n.id, Txs: txs, Bytes: bytes,
+		CkptEpoch: ckptEpoch, CkptFold: ckptFold}
 	p := &Proposal{
 		Height:   n.height,
 		Round:    r,
 		Block:    block,
-		BlockID:  n.blockID(n.height, r, n.id, txs),
+		BlockID:  n.blockID(n.height, r, n.id, ckptEpoch, ckptFold, txs),
 		Proposer: n.id,
 	}
 	p.Sig = n.suite.Sign(n.key, n.proposalSignBytes(p))
@@ -704,8 +867,12 @@ func (n *Node) Receive(from wire.NodeID, payload any) {
 		if msg.Proposal != nil {
 			n.handleProposal(msg.Proposal)
 		}
-	case *SyncResponse:
-		n.handleSyncResponse(msg)
+	case *SyncOffer:
+		n.handleSyncOffer(from, msg)
+	case *SyncChunkRequest:
+		n.handleSyncChunkRequest(from, msg)
+	case *SyncChunk:
+		n.handleSyncChunk(msg)
 	}
 }
 
@@ -731,11 +898,21 @@ func (n *Node) handleProposal(p *Proposal) {
 	// the paper's model explicitly allows Byzantine servers to put invalid
 	// elements on the ledger; Setchain filters them in FinalizeBlock.)
 	if p.Block == nil || p.Block.Height != p.Height ||
-		n.blockID(p.Height, p.Round, p.Proposer, p.Block.Txs) != p.BlockID {
+		n.blockID(p.Height, p.Round, p.Proposer, p.Block.CkptEpoch, p.Block.CkptFold, p.Block.Txs) != p.BlockID {
 		n.invalidMsgs++
 		return
 	}
 	if p.Block.Bytes > n.params.MaxBlockBytes {
+		n.invalidMsgs++
+		return
+	}
+	// Header-commitment check: a claimed checkpoint chain at or below this
+	// validator's own seal horizon must match its chain prefix exactly; a
+	// proposer cannot rewrite sealed history a quorum of validators has
+	// reached. Claims ahead of local sealing pass — the validator cannot
+	// falsify state it hasn't computed, and 2f+1 such checks are exactly
+	// the light-client trust state-sync leans on.
+	if n.syncer != nil && !n.syncer.VerifyCommitment(p.Block.CkptEpoch, p.Block.CkptFold) {
 		n.invalidMsgs++
 		return
 	}
@@ -965,30 +1142,179 @@ func (n *Node) handleBlockRequest(from wire.NodeID, req *BlockRequest) {
 	}
 	// Deep catch-up for a height we can no longer serve block-by-block
 	// (pruned under the checkpoint horizon, or outside the decided window):
-	// answer with the latest checkpoint snapshot if it would actually move
-	// the requester forward.
-	if req.BlockID == "" && n.syncer != nil {
-		if snap, ok := n.syncer.SyncSnapshot(); ok && snap.Last.Height >= req.Height {
-			n.net.Send(n.id, from, &SyncResponse{Snapshot: snap}, snap.Bytes)
+	// offer the latest CERTIFIED snapshot if it would actually move the
+	// requester forward. A snapshot without an observed certificate binding
+	// its chain fold is never served — the requester could not verify it,
+	// and its retry backoff finds a peer that can prove its offer.
+	if req.BlockID == "" && n.syncer != nil && n.servableSnap != nil {
+		snap := n.servableSnap
+		// The forged-snapshot attack: a Byzantine server corrupts the
+		// snapshot but attaches the legitimate certificate. The requester's
+		// fold check is what catches the mismatch.
+		if f, ok := n.syncer.(SnapshotForger); ok {
+			if forged := f.ForgeSyncSnapshot(snap); forged != nil {
+				snap = forged
+			}
 		}
+		if snap.Last.Height < req.Height {
+			return
+		}
+		n.serveSnap = snap
+		n.serveFold = checkpoint.FoldChain(snap.Chain)
+		cb := n.params.SyncChunkBytes
+		offer := &SyncOffer{
+			Snapshot:   snap,
+			Proposal:   n.servableProp,
+			Commit:     n.servableCert,
+			Chunks:     syncChunkCount(snap.Bytes, cb),
+			ChunkBytes: cb,
+		}
+		// The offer ships metadata and proof, not the state: the chain (32
+		// modeled bytes per entry, as in core's snapshot sizing), the
+		// certified proposal envelope, and the certificate votes.
+		size := 32*len(snap.Chain) + proposalOverhead + len(offer.Commit)*voteWireSize
+		n.net.Send(n.id, from, offer, size)
 	}
 }
 
-// handleSyncResponse verifies and installs a checkpoint snapshot, then
-// resumes consensus at the height after the checkpoint: the suffix above
-// the seal height replays through the normal catch-up path. The
-// application does the verification (InstallSync); a stale or inconsistent
-// snapshot leaves all state untouched and the 2 s catch-up retry keeps
-// probing.
-func (n *Node) handleSyncResponse(resp *SyncResponse) {
-	snap := resp.Snapshot
-	if snap == nil || n.syncer == nil || n.stopped {
+// handleSyncChunkRequest serves one chunk of the most recently offered
+// snapshot. Requests naming a different snapshot (stale identity after a
+// newer seal) are dropped; the requester's retry fetches a fresh offer.
+func (n *Node) handleSyncChunkRequest(from wire.NodeID, req *SyncChunkRequest) {
+	snap := n.serveSnap
+	if snap == nil || req.Epoch != snap.Last.Epoch || req.Fold != n.serveFold {
+		return
+	}
+	cb := n.params.SyncChunkBytes
+	total := syncChunkCount(snap.Bytes, cb)
+	if req.Seq < 0 || req.Seq >= total {
+		return
+	}
+	size := snap.Bytes - req.Seq*cb
+	if size > cb {
+		size = cb
+	}
+	if size < 1 {
+		size = 1
+	}
+	n.net.Send(n.id, from, &SyncChunk{
+		Epoch: req.Epoch, Fold: req.Fold, Seq: req.Seq, Size: size,
+		Sum: chunkSum(req.Fold, req.Seq, size),
+	}, size)
+}
+
+// handleSyncOffer verifies a state-sync offer against its certified
+// header — the certificate must hold 2f+1 valid precommits for the
+// proposal, and the offered chain must fold to the commitment the
+// certified header binds — then starts (or resumes) the chunked transfer.
+// Nothing is installed here: InstallSync runs only after every chunk
+// arrived and verified (handleSyncChunk).
+func (n *Node) handleSyncOffer(from wire.NodeID, offer *SyncOffer) {
+	snap := offer.Snapshot
+	if snap == nil || n.syncer == nil || n.stopped || n.decided {
 		return
 	}
 	if snap.Last.Height < n.height {
 		return // would not advance us; keep block-by-block catch-up
 	}
-	if !n.syncer.InstallSync(snap) {
+	if !BreakHeaderBindForTest {
+		p := offer.Proposal
+		if p == nil || p.Block == nil || !n.verifyCommitCert(p, offer.Commit) {
+			n.syncRejects++
+			n.invalidMsgs++
+			return
+		}
+		// The certified binding: the header commits to exactly this chain.
+		if p.Block.CkptEpoch != snap.Last.Epoch ||
+			p.Block.CkptFold != checkpoint.FoldChain(snap.Chain) {
+			n.syncRejects++
+			n.invalidMsgs++
+			return
+		}
+	}
+	fold := checkpoint.FoldChain(snap.Chain)
+	if f := n.fetch; f != nil {
+		if f.epoch == snap.Last.Epoch && f.fold == fold {
+			// Same snapshot re-offered (retry path): resume from the bitmap.
+			f.from = from
+			n.requestChunk(f)
+			return
+		}
+		if snap.Last.Epoch <= f.epoch {
+			return // already fetching something at least as new
+		}
+	}
+	cb := offer.ChunkBytes
+	if cb <= 0 {
+		cb = n.params.SyncChunkBytes
+	}
+	chunks := syncChunkCount(snap.Bytes, cb)
+	if offer.Chunks != chunks {
+		n.syncRejects++
+		n.invalidMsgs++
+		return // chunk accounting does not match the declared snapshot size
+	}
+	n.fetch = &syncFetch{
+		snap:       snap,
+		from:       from,
+		epoch:      snap.Last.Epoch,
+		fold:       fold,
+		chunks:     chunks,
+		chunkBytes: cb,
+		got:        make([]bool, chunks),
+	}
+	n.requestChunk(n.fetch)
+}
+
+// requestChunk asks the serving peer for the fetch's first missing chunk.
+func (n *Node) requestChunk(f *syncFetch) {
+	seq := f.next()
+	if seq < 0 {
+		return
+	}
+	n.net.Send(n.id, f.from, &SyncChunkRequest{Epoch: f.epoch, Fold: f.fold, Seq: seq}, 32)
+}
+
+// handleSyncChunk verifies one received chunk against the fetch in flight
+// — identity, bounds, per-chunk digest — and either requests the next
+// missing chunk or, once the bitmap is full, installs the assembled
+// snapshot and resumes consensus after the checkpoint height. A chunk
+// failing verification is dropped; the retry backoff re-requests it.
+func (n *Node) handleSyncChunk(c *SyncChunk) {
+	f := n.fetch
+	if f == nil || n.stopped || n.decided {
+		return
+	}
+	if c.Epoch != f.epoch || c.Fold != f.fold || c.Seq < 0 || c.Seq >= f.chunks {
+		return
+	}
+	if f.got[c.Seq] {
+		return // duplicate (retry raced the response)
+	}
+	want := f.snap.Bytes - c.Seq*f.chunkBytes
+	if want > f.chunkBytes {
+		want = f.chunkBytes
+	}
+	if want < 1 {
+		want = 1
+	}
+	if c.Size != want || c.Sum != chunkSum(f.fold, c.Seq, c.Size) {
+		n.invalidMsgs++
+		return
+	}
+	f.got[c.Seq] = true
+	f.ngot++
+	if f.ngot < f.chunks {
+		n.requestChunk(f)
+		return
+	}
+	// Transfer complete: hand the snapshot to the application. InstallSync
+	// re-verifies everything locally checkable; the certificate already
+	// vouched for the chain. On rejection the fetch is abandoned and the
+	// catch-up retry probes for a better peer.
+	snap := f.snap
+	n.fetch = nil
+	if snap.Last.Height < n.height || !n.syncer.InstallSync(snap) {
 		return
 	}
 	n.syncInstalls++
@@ -1008,6 +1334,7 @@ func (n *Node) handleSyncResponse(resp *SyncResponse) {
 	n.step = StepPropose
 	n.decided = false
 	n.catchupPending = false
+	n.catchupRetries = 0
 	n.enterHeight(n.height)
 }
 
@@ -1053,6 +1380,25 @@ func (n *Node) commit(p *Proposal) {
 		delete(n.decidedCommits, p.Height-128)
 	}
 
+	// Refresh the servable snapshot: when this decided header's checkpoint
+	// commitment matches the application's current snapshot, this proposal
+	// and its certificate become the proof attached to state-sync offers.
+	// The previous servable pair stays until a newer match commits, so a
+	// freshly sealed (not yet certified) snapshot never leaves the node
+	// unprovable — it just serves the older certified one meanwhile.
+	if n.syncer != nil {
+		if cert := n.decidedCommits[p.Height]; len(cert) >= n.Quorum() {
+			if snap, ok := n.syncer.SyncSnapshot(); ok && snap != n.servableSnap &&
+				p.Block.CkptEpoch == snap.Last.Epoch &&
+				p.Block.CkptFold == checkpoint.FoldChain(snap.Chain) {
+				n.servableSnap = snap
+				n.servableProp = p
+				n.servableCert = cert
+			}
+		}
+	}
+	n.catchupRetries = 0
+
 	// Reset consensus state for the next height NOW: proposals and votes
 	// for it can arrive during the commit wait and must not be discarded.
 	h := n.height + 1
@@ -1096,44 +1442,84 @@ func (n *Node) bufferFuture(msg any) {
 	}
 }
 
+// Catch-up retry pacing: the first attempt retries after the flat base
+// delay (exactly the old behavior, so runs where every catch-up resolves
+// first try stay byte-identical); consecutive unproductive retries back
+// off exponentially to the cap, each with up to +25% jitter from a
+// dedicated stream — at mesh scale (n=100) a partition heal would
+// otherwise release every stalled node's retry in one synchronized storm.
+const (
+	catchupBaseDelay = 2 * time.Second
+	catchupMaxDelay  = 30 * time.Second
+	// catchupJitterStream offsets the jitter stream ids far away from the
+	// other ChildSeed users (netsim per-node streams use raw node ids,
+	// workload uses 1<<40 + small offsets).
+	catchupJitterStream = uint64(1) << 41
+)
+
+// catchupDelay returns the backoff delay for the current retry count,
+// drawing jitter ONLY when an actual retry happened (catchupRetries > 0):
+// the jitter stream must stay untouched on runs with no retries.
+func (n *Node) catchupDelay() time.Duration {
+	d := catchupBaseDelay
+	for i := 0; i < n.catchupRetries && d < catchupMaxDelay; i++ {
+		d *= 2
+	}
+	if d > catchupMaxDelay {
+		d = catchupMaxDelay
+	}
+	if n.catchupRetries > 0 {
+		if n.catchupRng == nil {
+			n.catchupRng = sim.ChildRand(n.sim.Seed(), catchupJitterStream+uint64(n.id))
+		}
+		d += time.Duration(n.catchupRng.Int63n(int64(d/4) + 1))
+	}
+	return d
+}
+
 // maybeCatchup requests the certified block for the current height from a
-// peer known to be ahead, with one request in flight at a time.
+// peer known to be ahead — or, when a chunked snapshot transfer is in
+// flight, re-requests its first missing chunk (the resumable half of the
+// transfer: lost chunks are recovered from the bitmap, not by
+// restarting). One request in flight at a time, retried with bounded
+// exponential backoff until the node advances.
 func (n *Node) maybeCatchup() {
-	if n.catchupPending || n.decided || n.stopped || n.futureSender < 0 {
+	if n.catchupPending || n.decided || n.stopped {
+		return
+	}
+	if n.fetch == nil && n.futureSender < 0 {
 		return
 	}
 	n.catchupPending = true
 	n.catchupReqs++
-	target := n.futureSender
 	height := n.height
-	n.net.Send(n.id, target, &BlockRequest{Height: height}, 64)
-	n.sim.After(2*time.Second, func() {
+	if f := n.fetch; f != nil {
+		n.requestChunk(f)
+	} else {
+		n.net.Send(n.id, n.futureSender, &BlockRequest{Height: height}, 64)
+	}
+	n.sim.After(n.catchupDelay(), func() {
 		// Retry (possibly via a different ahead peer) until we advance.
 		if n.catchupPending && n.height == height && !n.stopped {
 			n.catchupPending = false
+			n.catchupRetries++
 			n.maybeCatchup()
 		}
 	})
 }
 
-// handleCertifiedBlock validates a deep catch-up response: the proposal
-// must be for our current height, its id must re-derive from its contents,
-// and the certificate must hold 2f+1 valid precommit signatures for it.
-func (n *Node) handleCertifiedBlock(resp *BlockResponse) {
-	p := resp.Proposal
-	if p == nil || n.decided || p.Height != n.height {
-		if p != nil && p.Height < n.height {
-			n.catchupPending = false
-		}
-		return
-	}
+// verifyCommitCert checks that a proposal's id re-derives from its
+// contents (including the header's checkpoint commitment) and that the
+// certificate holds 2f+1 valid precommit signatures for it. Shared by
+// deep catch-up (handleCertifiedBlock) and state-sync offer verification
+// (handleSyncOffer) — the same quorum proof backs both.
+func (n *Node) verifyCommitCert(p *Proposal, commit []*Vote) bool {
 	if p.Block == nil || p.Block.Height != p.Height ||
-		n.blockID(p.Height, p.Round, p.Proposer, p.Block.Txs) != p.BlockID {
-		n.invalidMsgs++
-		return
+		n.blockID(p.Height, p.Round, p.Proposer, p.Block.CkptEpoch, p.Block.CkptFold, p.Block.Txs) != p.BlockID {
+		return false
 	}
 	seen := make(map[wire.NodeID]bool)
-	for _, v := range resp.Commit {
+	for _, v := range commit {
 		if v == nil || v.Height != p.Height || v.Type != VotePrecommit || v.BlockID != p.BlockID {
 			continue
 		}
@@ -1149,16 +1535,31 @@ func (n *Node) handleCertifiedBlock(resp *BlockResponse) {
 		}
 		pub := n.registry.Lookup(int(v.Voter))
 		if pub == nil || !n.suite.Verify(pub, n.voteSignBytes(v), v.Sig) {
-			n.invalidMsgs++
 			continue
 		}
 		seen[v.Voter] = true
 	}
-	if len(seen) < n.Quorum() {
+	return len(seen) >= n.Quorum()
+}
+
+// handleCertifiedBlock validates a deep catch-up response: the proposal
+// must be for our current height, its id must re-derive from its contents,
+// and the certificate must hold 2f+1 valid precommit signatures for it.
+func (n *Node) handleCertifiedBlock(resp *BlockResponse) {
+	p := resp.Proposal
+	if p == nil || n.decided || p.Height != n.height {
+		if p != nil && p.Height < n.height {
+			n.catchupPending = false
+			n.catchupRetries = 0
+		}
+		return
+	}
+	if !n.verifyCommitCert(p, resp.Commit) {
 		n.invalidMsgs++
 		return
 	}
 	n.catchupPending = false
+	n.catchupRetries = 0
 	n.proposals[p.Round] = p
 	n.commit(p)
 }

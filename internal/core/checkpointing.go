@@ -77,6 +77,7 @@ func (s *Server) seal(target uint64) {
 	}
 	ck := checkpoint.Checkpoint{Epoch: target, Height: s.curHeight, Elements: elems, Digest: d}
 	s.checkpoints = append(s.checkpoints, ck)
+	s.ckptFold = checkpoint.FoldEntry(s.ckptFold, ck)
 	s.ckptBytes = bytes
 	s.chargeCPU(time.Duration(target-prev.Epoch) * s.opts.Costs.PerBatch / 8)
 	s.freezeSyncState(ck)
@@ -111,14 +112,17 @@ func (s *Server) prune(ck checkpoint.Checkpoint) {
 
 // SyncState is the application half of a state-sync snapshot: the
 // Setchain state needed on top of the checkpoint chain to resume from the
-// seal height. Epochs and Proofs are frozen copies taken at seal time;
-// Members and Set are the serving server's live maps — epoch assignment
-// is immutable and monotone, so filtering Members by epoch <= LastEpoch
-// reconstructs the exact seal-time membership no matter when the snapshot
-// is installed.
+// seal height. EVERYTHING here is a frozen copy taken at seal time,
+// inside the serving server's own event — epoch structs, the membership
+// index, the set map. Earlier revisions shared the server's live maps and
+// epoch pointers, which violated the read-only-shared-payload convention
+// of partitioned runs (DESIGN.md §12): an installer iterating the maps
+// raced the serving node mutating them on another partition. Only the
+// leaf *wire.Element and *wire.EpochProof pointers are shared — those are
+// immutable wire payloads, exactly what the convention permits.
 type SyncState struct {
-	// Epochs are the created epochs above the checkpoint as of the seal
-	// height, ascending by number.
+	// Epochs are frozen copies of the created epochs above the checkpoint
+	// as of the seal height, ascending by number.
 	Epochs []*Epoch
 	// Proofs are the proof-signer sets for epochs above the checkpoint as
 	// of the seal height.
@@ -126,11 +130,11 @@ type SyncState struct {
 	// LastEpoch is the highest created epoch at seal time (the checkpoint
 	// epoch when Epochs is empty).
 	LastEpoch uint64
-	// Members is the serving server's live id→epoch index; only entries
-	// with epoch <= LastEpoch belong to the snapshot.
+	// Members is a frozen copy of the id→epoch index at seal time; every
+	// entry has epoch <= LastEpoch.
 	Members map[wire.ElementID]uint64
-	// Set is the serving server's live the_set, keyed consistently with
-	// Members.
+	// Set is a frozen copy of the_set at seal time, keyed consistently
+	// with Members.
 	Set map[wire.ElementID]*wire.Element
 	// PendingSigners carries Hashchain's ledger signer sets for batches
 	// not yet consolidated at seal time: their remaining signatures arrive
@@ -144,20 +148,37 @@ type SyncState struct {
 }
 
 // freezeSyncState captures the snapshot served for state-sync requests
-// targeting heights at or below this checkpoint.
+// targeting heights at or below this checkpoint. The copy happens here,
+// in the serving server's own event, because that is the only
+// single-owner moment: once the snapshot is handed to a requester it is
+// read on other partitions while this server keeps mutating its live
+// maps, so anything short of a freeze-time copy is a data race.
 func (s *Server) freezeSyncState(ck checkpoint.Checkpoint) {
 	created := s.prunedEpochs + uint64(len(s.history))
 	st := &SyncState{
 		LastEpoch: created,
-		Members:   s.inHistory,
-		Set:       s.theSet,
+		Members:   make(map[wire.ElementID]uint64, len(s.inHistory)),
+		Set:       make(map[wire.ElementID]*wire.Element, len(s.theSet)),
 		Proofs:    make(map[uint64]map[wire.NodeID]*wire.EpochProof),
 		CkptBytes: s.ckptBytes,
+	}
+	for id, epn := range s.inHistory {
+		st.Members[id] = epn
+	}
+	for id, el := range s.theSet {
+		st.Set[id] = el
 	}
 	size := int(s.ckptBytes) + len(s.checkpoints)*checkpointBinSize
 	for e := ck.Epoch + 1; e <= created; e++ {
 		ep := s.history[e-1-s.prunedEpochs]
-		st.Epochs = append(st.Epochs, ep)
+		// Copy the epoch struct and its element-slice header; the element
+		// pointers themselves are immutable shared payloads.
+		cp := &Epoch{
+			Number:   ep.Number,
+			Elements: append([]*wire.Element(nil), ep.Elements...),
+			Hash:     append([]byte(nil), ep.Hash...),
+		}
+		st.Epochs = append(st.Epochs, cp)
 		size += epochFrameSize
 		for _, el := range ep.Elements {
 			size += el.Size
@@ -193,16 +214,19 @@ func (s *Server) SyncSnapshot() (*checkpoint.Snapshot, bool) {
 }
 
 // InstallSync implements consensus.StateSyncer: adopt a peer's checkpoint
-// snapshot as this server's state. The snapshot is verified against
-// everything locally known — the local checkpoint chain must be a prefix
-// of the snapshot's, chain digests covering locally retained epochs must
-// recompute, the snapshot's suffix epochs must hash correctly and agree
-// with any local epochs of the same number. (A Byzantine peer could still
-// forge state beyond local knowledge; a production system closes that by
-// binding the checkpoint digest into the certified block headers —
-// DESIGN.md §11 — and the end-of-run invariant checker cross-validates
-// every install here.) Returns false, leaving state untouched, when the
-// snapshot is stale or inconsistent.
+// snapshot as this server's state. Trust is layered (DESIGN.md §15):
+// consensus has ALREADY verified, before calling this, that the
+// snapshot's chain folds to the checkpoint commitment a 2f+1-certified
+// block header binds — a peer cannot forge sealed history, even history
+// this server never saw. What remains here is everything locally
+// checkable: the local checkpoint chain must be a prefix of the
+// snapshot's, chain digests covering locally retained epochs must
+// recompute, the membership index must account for exactly the certified
+// cumulative element count, and the snapshot's suffix epochs must hash
+// correctly and agree with any local epochs of the same number. The
+// end-of-run invariant checker cross-validates every install on top.
+// Returns false, leaving state untouched, when the snapshot is stale or
+// inconsistent.
 func (s *Server) InstallSync(snap *checkpoint.Snapshot) bool {
 	st, ok := snap.State.(*SyncState)
 	if !ok || st == nil {
@@ -215,6 +239,28 @@ func (s *Server) InstallSync(snap *checkpoint.Snapshot) bool {
 	}
 	if st.LastEpoch < total || ck.Epoch+uint64(len(st.Epochs)) != st.LastEpoch {
 		return false // snapshot older than local state, or malformed
+	}
+	// The certified chain commits to the cumulative element count through
+	// the checkpoint: the membership index must account for exactly that
+	// many elements at or below ck.Epoch (and none beyond LastEpoch), so a
+	// peer cannot pad the set with elements hidden below the prune horizon.
+	// Set-only entries (added but not yet stamped into an epoch) are legal
+	// and ignored at adoption; an INDEXED element missing from the set is
+	// not — the index would dangle.
+	var below uint64
+	for id, epn := range st.Members {
+		if st.Set[id] == nil {
+			return false
+		}
+		switch {
+		case epn > st.LastEpoch:
+			return false
+		case epn <= ck.Epoch:
+			below++
+		}
+	}
+	if below != ck.Elements {
+		return false
 	}
 	for i, mine := range s.checkpoints {
 		// Content prefix (Same): the peer's seal heights may differ from
@@ -260,11 +306,29 @@ func (s *Server) InstallSync(snap *checkpoint.Snapshot) bool {
 		}
 		cost += time.Duration(len(ep.Elements)) * s.opts.Costs.PerElement
 	}
+	// The suffix must account for the rest of the membership index: every
+	// index entry above the checkpoint names a suffix epoch, and that epoch
+	// must actually contain the element — otherwise a peer could smuggle
+	// elements into the set through the index while every epoch hash still
+	// verified.
+	var above uint64
+	for _, ep := range st.Epochs {
+		for _, el := range ep.Elements {
+			if epn, ok := st.Members[el.ID]; !ok || epn != ep.Number {
+				return false
+			}
+			above++
+		}
+	}
+	if below+above != uint64(len(st.Members)) {
+		return false
+	}
 	s.chargeCPU(cost)
 
 	// Adopt: checkpoint chain, suffix history, membership through
 	// LastEpoch, proof state as of the seal height.
 	s.checkpoints = append([]checkpoint.Checkpoint(nil), snap.Chain...)
+	s.ckptFold = checkpoint.FoldChain(s.checkpoints)
 	s.prunedEpochs = ck.Epoch
 	s.prunedElements = ck.Elements
 	s.ckptBytes = st.CkptBytes
@@ -350,3 +414,119 @@ func (s *Server) Settled() uint64 { return s.settled }
 // SyncInstalls returns how many checkpoint snapshots this server has
 // installed (state-sync recoveries).
 func (s *Server) SyncInstalls() uint64 { return s.syncInstalls }
+
+// HeaderCommitment implements consensus.StateSyncer: the latest sealed
+// checkpoint epoch and the fold of the chain through it, stamped into
+// every block header this server proposes. (0, checkpoint.Seed()) before
+// any seal.
+func (s *Server) HeaderCommitment() (uint64, uint64) {
+	return s.lastCheckpointEpoch(), s.ckptFold
+}
+
+// VerifyCommitment implements consensus.StateSyncer: check a proposed
+// header's claimed checkpoint commitment against local sealing. Seal
+// points and content are deterministic across correct servers, so a
+// claim at or below the local horizon must match the local chain prefix
+// bit for bit; a claim ahead of local sealing passes — this validator
+// cannot falsify state it has not computed yet, which is exactly the
+// f+1-honest-signatures trust state-sync relies on (DESIGN.md §15).
+func (s *Server) VerifyCommitment(epoch, fold uint64) bool {
+	last := s.lastCheckpointEpoch()
+	if epoch > last {
+		return true
+	}
+	if epoch == last {
+		return fold == s.ckptFold
+	}
+	h := checkpoint.Seed()
+	for _, c := range s.checkpoints {
+		if c.Epoch > epoch {
+			break
+		}
+		h = checkpoint.FoldEntry(h, c)
+		if c.Epoch == epoch {
+			return h == fold
+		}
+	}
+	// epoch is below the horizon but not a seal point: only the empty
+	// chain (epoch 0) is claimable there.
+	return epoch == 0 && fold == h
+}
+
+// ForgeSyncSnapshot implements consensus.SnapshotForger when the server's
+// Byzantine behavior enables ForgeSnapshot: a deep-copied snapshot
+// extended with one fabricated checkpoint that "settles" the honest
+// suffix plus a forged epoch of bogus elements. The forgery is crafted to
+// pass every LOCAL check a behind requester can run — internally
+// consistent digests, hashes, and element counts — so before the header
+// binding it installed cleanly and smuggled bogus elements into the
+// requester's set; the certified fold check rejects it because the
+// fabricated chain cannot fold to any quorum-signed commitment. Returns
+// nil (serve honestly) when the behavior is off.
+func (s *Server) ForgeSyncSnapshot(snap *checkpoint.Snapshot) *checkpoint.Snapshot {
+	if s.behavior == nil || !s.behavior.ForgeSnapshot || snap == nil {
+		return nil
+	}
+	st, ok := snap.State.(*SyncState)
+	if !ok || st == nil {
+		return nil
+	}
+	const bogusN = 3
+	forgedNum := st.LastEpoch + 1
+	bogus := make([]*wire.Element, 0, bogusN)
+	for i := 0; i < bogusN; i++ {
+		e := &wire.Element{Client: wire.ClientID(-1), Size: 438, Bogus: true}
+		e.ID[0] = 0xFD // forged-snapshot marker, distinct from injectBogus's 0xBB
+		e.ID[1] = byte(s.id)
+		e.ID[2] = byte(forgedNum)
+		e.ID[3] = byte(i)
+		bogus = append(bogus, e)
+	}
+	forgedEp := &Epoch{Number: forgedNum, Elements: bogus}
+	forgedEp.Hash = s.epochHashFor(forgedNum, bogus)
+
+	// Fabricated checkpoint covering (Last.Epoch, forgedNum]: chain the
+	// honest suffix epochs, then the forged one — internally consistent,
+	// provably unsigned.
+	d, elems, bytes := snap.Last.Digest, snap.Last.Elements, st.CkptBytes
+	for _, ep := range st.Epochs {
+		d = checkpoint.ChainEpoch(d, ep.Number, ep.Hash)
+		elems += uint64(len(ep.Elements))
+		for _, el := range ep.Elements {
+			bytes += uint64(el.Size)
+		}
+	}
+	d = checkpoint.ChainEpoch(d, forgedEp.Number, forgedEp.Hash)
+	elems += bogusN
+	for _, el := range bogus {
+		bytes += uint64(el.Size)
+	}
+	ckF := checkpoint.Checkpoint{Epoch: forgedNum, Height: snap.Last.Height, Elements: elems, Digest: d}
+
+	fst := &SyncState{
+		LastEpoch: forgedNum,
+		Members:   make(map[wire.ElementID]uint64, len(st.Members)+bogusN),
+		Set:       make(map[wire.ElementID]*wire.Element, len(st.Set)+bogusN),
+		Proofs:    make(map[uint64]map[wire.NodeID]*wire.EpochProof),
+		// Everything is claimed sealed, so no suffix epochs and no pending
+		// proof state survive the fabricated horizon.
+		PendingSigners: st.PendingSigners,
+		CkptBytes:      bytes,
+	}
+	for id, epn := range st.Members {
+		fst.Members[id] = epn
+	}
+	for id, el := range st.Set {
+		fst.Set[id] = el
+	}
+	for _, el := range bogus {
+		fst.Members[el.ID] = forgedNum
+		fst.Set[el.ID] = el
+	}
+	return &checkpoint.Snapshot{
+		Last:  ckF,
+		Chain: append(append([]checkpoint.Checkpoint(nil), snap.Chain...), ckF),
+		State: fst,
+		Bytes: snap.Bytes + bogusN*438,
+	}
+}

@@ -197,4 +197,10 @@ type Behavior struct {
 	// the server creates (Compresschain/Hashchain) — the attack the
 	// paper's validation in FinalizeBlock exists to filter.
 	InjectBogusElements int
+	// ForgeSnapshot makes the server corrupt every state-sync snapshot it
+	// serves — a fabricated extra checkpoint smuggling bogus elements past
+	// the requester's local knowledge, attached to the legitimate commit
+	// certificate. Caught by the certified-header fold check
+	// (DESIGN.md §15); installs cleanly if that check is sabotaged.
+	ForgeSnapshot bool
 }

@@ -98,6 +98,10 @@ type Server struct {
 	curHeight      uint64
 	syncState      *checkpoint.Snapshot
 	syncInstalls   uint64
+	// ckptFold caches checkpoint.FoldChain(checkpoints) — the header
+	// commitment proposers stamp — maintained incrementally at each seal
+	// and recomputed on a state-sync install.
+	ckptFold uint64
 
 	alg      algorithm
 	coll     *collector.Collector
@@ -137,6 +141,7 @@ func NewServer(node *ledger.Node, s *sim.Simulator, n int, suite setcrypto.Suite
 		theSet:    make(map[wire.ElementID]*wire.Element),
 		inHistory: make(map[wire.ElementID]uint64),
 		proofs:    make(map[uint64]map[wire.NodeID]*wire.EpochProof),
+		ckptFold:  checkpoint.Seed(),
 	}
 	switch opts.Algorithm {
 	case Vanilla:

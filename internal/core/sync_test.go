@@ -1,0 +1,164 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// deployCheckpointed builds a 4-server Full-mode Hashchain deployment with
+// checkpointing + pruning on, feeds it elements and quiesces, so every
+// server has a sealed chain and a frozen state-sync snapshot.
+func deployCheckpointed(t *testing.T, seed int64) *core.Deployment {
+	t.Helper()
+	s, d := deployFull(seed, 4, core.Options{
+		Algorithm: core.Hashchain, CollectorLimit: 10,
+		CheckpointInterval: 2, Prune: true,
+	})
+	addElements(s, d, 60)
+	runQuiesce(s, d, 20*time.Second)
+	d.Stop()
+	return d
+}
+
+// Header commitments are consistent across correct servers: seal points
+// and content are deterministic, so every server's (epoch, fold) claim
+// verifies everywhere — and a tampered fold, or a fold claimed for the
+// wrong epoch, verifies nowhere at or below the local horizon.
+func TestHeaderCommitmentAcrossServers(t *testing.T) {
+	d := deployCheckpointed(t, 11)
+	epoch, fold := d.Servers[0].HeaderCommitment()
+	if epoch == 0 {
+		t.Fatal("no checkpoint sealed; the commitment test is vacuous")
+	}
+	if want := checkpoint.FoldChain(d.Servers[0].Checkpoints()); fold != want {
+		t.Fatalf("incremental fold cache %x diverges from FoldChain %x", fold, want)
+	}
+	for i, srv := range d.Servers {
+		if !srv.VerifyCommitment(epoch, fold) {
+			t.Fatalf("server %d rejects server 0's commitment (epoch %d)", i, epoch)
+		}
+		if srv.VerifyCommitment(epoch, fold^1) {
+			t.Fatalf("server %d accepts a tampered fold at epoch %d", i, epoch)
+		}
+		if !srv.VerifyCommitment(epoch+1000, fold^1) {
+			t.Fatalf("server %d rejects a claim beyond its horizon — validators "+
+				"cannot falsify state they have not computed", i)
+		}
+	}
+	// Interior prefix claims: the fold through any earlier seal point
+	// verifies; the same fold claimed one epoch later does not.
+	chain := d.Servers[0].Checkpoints()
+	if len(chain) < 2 {
+		t.Fatalf("need >= 2 checkpoints, have %d", len(chain))
+	}
+	prefix := checkpoint.FoldChain(chain[:1])
+	if !d.Servers[1].VerifyCommitment(chain[0].Epoch, prefix) {
+		t.Fatal("interior prefix commitment rejected")
+	}
+	if d.Servers[1].VerifyCommitment(chain[1].Epoch, prefix) {
+		t.Fatal("prefix fold accepted at the wrong epoch")
+	}
+}
+
+// The forge-snapshot behavior produces exactly the attack the header
+// binding exists for: a snapshot that is internally consistent under every
+// local check — so it INSTALLS on a behind server, smuggling bogus
+// elements into its set — while its chain cannot fold to any certified
+// commitment. If the install here starts failing, the sabotage tests in
+// the harness go vacuous.
+func TestForgedSnapshotInstallsLocallyButBreaksFold(t *testing.T) {
+	d := deployCheckpointed(t, 12)
+	forger := d.Servers[3]
+	forger.SetBehavior(&core.Behavior{ForgeSnapshot: true})
+	snap, ok := forger.SyncSnapshot()
+	if !ok {
+		t.Fatal("no frozen snapshot to forge")
+	}
+	forged := forger.ForgeSyncSnapshot(snap)
+	if forged == nil {
+		t.Fatal("ForgeSnapshot behavior returned no forgery")
+	}
+	if forged.Last.Epoch != snap.Last.Epoch+1 || len(forged.Chain) != len(snap.Chain)+1 {
+		t.Fatalf("forgery shape wrong: Last.Epoch %d vs honest %d, chain %d vs %d",
+			forged.Last.Epoch, snap.Last.Epoch, len(forged.Chain), len(snap.Chain))
+	}
+	if checkpoint.FoldChain(forged.Chain) == checkpoint.FoldChain(snap.Chain) {
+		t.Fatal("forged chain folds identically to the honest chain — the header binding could never catch it")
+	}
+	// A maximally-behind requester (fresh server, empty chain): every local
+	// check passes and the forgery installs — the pre-binding trust hole.
+	_, fresh := deployFull(13, 4, core.Options{
+		Algorithm: core.Hashchain, CollectorLimit: 10,
+		CheckpointInterval: 2, Prune: true,
+	})
+	victim := fresh.Servers[0]
+	if !victim.InstallSync(forged) {
+		t.Fatal("forgery rejected by InstallSync's local checks — it is no longer " +
+			"the certified-fold check doing the work, and the sabotage tests are vacuous")
+	}
+	var smuggled int
+	for _, el := range victim.Get().TheSet {
+		if el.Bogus {
+			smuggled++
+		}
+	}
+	if smuggled == 0 {
+		t.Fatal("forgery installed but smuggled nothing — the attack demonstrates no harm")
+	}
+	fresh.Stop()
+}
+
+// A served snapshot must stay readable while the serving server keeps
+// running: everything in SyncState is a freeze-time copy, so concurrent
+// iteration by an installer (another partition in a parallel run) must not
+// race the server's live maps. Run under -race; a regression back to
+// sharing live maps fails here deterministically.
+func TestSyncSnapshotReadsDoNotRaceServingServer(t *testing.T) {
+	s, d := deployFull(14, 4, core.Options{
+		Algorithm: core.Hashchain, CollectorLimit: 10,
+		CheckpointInterval: 2, Prune: true,
+	})
+	addElements(s, d, 200) // 50ms spacing: injection runs to t=10s
+	s.RunUntil(4 * time.Second)
+	snap, ok := d.Servers[0].SyncSnapshot()
+	if !ok {
+		t.Fatal("no snapshot frozen after 4s; tune the workload")
+	}
+	st := snap.State.(*core.SyncState)
+
+	// Walk every frozen structure for the entire remainder of the run,
+	// while the serving server keeps adding elements, creating epochs and
+	// sealing checkpoints on the main goroutine.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var n int
+			for id, epn := range st.Members {
+				if epn > st.LastEpoch {
+					panic("frozen index entry above LastEpoch")
+				}
+				if st.Set[id] != nil {
+					n += st.Set[id].Size
+				}
+			}
+			for _, ep := range st.Epochs {
+				n += len(ep.Elements) + len(ep.Hash)
+			}
+			_ = n
+		}
+	}()
+	runQuiesce(s, d, 15*time.Second)
+	close(stop)
+	<-done
+	d.Stop()
+}

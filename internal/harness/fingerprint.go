@@ -36,6 +36,8 @@ func Fingerprint(res *Result) []byte {
 		Events          uint64
 		CheckpointSeals uint64
 		SyncInstalls    uint64
+		SyncRejected    uint64
+		CkptDigest      uint64
 		PerShard        any
 		SuperSeq        []uint64
 		NetMsgs         uint64
@@ -50,6 +52,7 @@ func Fingerprint(res *Result) []byte {
 	}{clone.Scenario, clone.Injected, clone.Committed, clone.Eff50, clone.Eff75,
 		clone.Eff100, clone.AvgTput, clone.Series, clone.CommitFrac, clone.Analytical,
 		clone.Blocks, clone.Events, clone.CheckpointSeals, clone.SyncInstalls,
+		clone.SyncRejected, clone.CkptDigest,
 		clone.PerShard, clone.SuperDigests, clone.NetMsgs, clone.NetBytes,
 		clone.Gossip, clone.Offered, clone.Rejected, clone.Fairness,
 		clone.DeferredTxs, clone.ExpiredTxs, clone.Invariant != nil})

@@ -63,6 +63,7 @@ func FromSpec(sp spec.ScenarioSpec) (Scenario, error) {
 		CheckpointInterval: sp.CheckpointInterval,
 		Prune:              sp.Prune,
 		HeapCeilingMB:      sp.HeapCeilingMB,
+		SyncChunkBytes:     sp.SyncChunkBytes,
 	}
 	if sp.Metrics == spec.MetricsStages {
 		sc.Level = metrics.LevelStages
@@ -251,6 +252,8 @@ func applyByzantine(d *core.Deployment, cfg ByzantineCfg) {
 			parts = append(parts, byzantine.WrongBatches())
 		case spec.BehaviorCorruptProofs:
 			parts = append(parts, byzantine.CorruptProofs())
+		case spec.BehaviorForgeSnapshot:
+			parts = append(parts, byzantine.ForgeSnapshot())
 		default:
 			// Unknown names are caught by spec.Validate before any
 			// scenario reaches the executor.

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/checkpoint"
 	"repro/internal/consensus"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -158,6 +159,10 @@ type Scenario struct {
 	// concurrently-running cells share one heap — soak cells are meant to
 	// run alone or treat the combined figure as the (sound) upper bound.
 	HeapCeilingMB int
+	// SyncChunkBytes sets the chunk size of the state-sync transfer
+	// protocol (consensus.Params.SyncChunkBytes); 0 keeps the 64 KiB
+	// default.
+	SyncChunkBytes int
 }
 
 // AdmissionCfg configures mempool admission control for a scenario: the
@@ -275,6 +280,17 @@ type Result struct {
 	// recovered from a peer's checkpoint snapshot instead of replaying the
 	// full chain.
 	SyncInstalls uint64
+	// SyncRejected counts state-sync offers consensus rejected for failing
+	// certified-header verification — a nonzero value means a peer served
+	// a snapshot that did not fold to a 2f+1-certified header commitment
+	// (e.g. the forge-snapshot Byzantine preset). Deterministic, so part
+	// of the run fingerprint.
+	SyncRejected uint64
+	// CkptDigest folds every server's sealed checkpoint chain
+	// (checkpoint.FoldChain, observer first, ascending node id) into one
+	// word: the compact cross-server witness that all chains agree. 0 when
+	// checkpointing is off.
+	CkptDigest uint64
 	// HeapLiveMB is the process's live heap in MiB after a forced GC at
 	// the end of the run (deployment still reachable), measured only when
 	// the scenario sets HeapCeilingMB; -1 otherwise. HeapViolation is true
@@ -332,6 +348,9 @@ func deployConfig(sc Scenario) (core.Options, ledger.Config) {
 		Mempool:   mempool.PaperConfig(),
 		Transport: sc.Transport,
 		Fanout:    sc.Fanout,
+	}
+	if sc.SyncChunkBytes > 0 {
+		lcfg.Consensus.SyncChunkBytes = sc.SyncChunkBytes
 	}
 	if sc.Admission.Policy != "" {
 		lcfg.Mempool.Admission = mempool.AdmissionConfig{
@@ -440,8 +459,16 @@ func runScenario(sc Scenario) *Result {
 		}
 	}
 	res.CheckpointSeals = rec.CheckpointSeals()
+	ckd := checkpoint.Seed()
 	for _, srv := range d.Servers {
 		res.SyncInstalls += srv.SyncInstalls()
+		ckd = checkpoint.Mix64(ckd, checkpoint.FoldChain(srv.Checkpoints()))
+	}
+	if sc.CheckpointInterval > 0 {
+		res.CkptDigest = ckd
+	}
+	for _, node := range d.Ledger.Nodes {
+		res.SyncRejected += node.Cons.SyncRejects()
 	}
 	res.NetMsgs = d.Ledger.Net.Messages()
 	res.NetBytes = d.Ledger.Net.BytesSent()

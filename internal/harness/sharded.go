@@ -4,6 +4,7 @@ import (
 	"errors"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/invariant"
 	"repro/internal/metrics"
@@ -118,10 +119,15 @@ func runShardedScenario(sc Scenario) *Result {
 	view := d.View()
 	res.SuperDigests = view.Digests()
 	var errs []error
+	ckd := checkpoint.Seed()
 	for k, sd := range d.Shards {
 		res.CheckpointSeals += d.Recorders[k].CheckpointSeals()
 		for _, srv := range sd.Servers {
 			res.SyncInstalls += srv.SyncInstalls()
+			ckd = checkpoint.Mix64(ckd, checkpoint.FoldChain(srv.Checkpoints()))
+		}
+		for _, node := range sd.Ledger.Nodes {
+			res.SyncRejected += node.Cons.SyncRejects()
 		}
 		if err := invariant.Check(sd, invariant.Config{
 			Correct:         shardCorrectIDs(k, n, sc.Byzantine),
@@ -140,6 +146,9 @@ func runShardedScenario(sc Scenario) *Result {
 		Injected: gen.InjectedIDs(),
 	}); err != nil {
 		errs = append(errs, err)
+	}
+	if sc.CheckpointInterval > 0 {
+		res.CkptDigest = ckd
 	}
 	res.Invariant = errors.Join(errs...)
 	if res.Invariant != nil {

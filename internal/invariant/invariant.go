@@ -148,6 +148,29 @@ func Check(d *core.Deployment, cfg Config) error {
 				}
 			}
 		}
+		// The set itself, below the retained history: pruning drops settled
+		// epochs but never the_set, and a forged state-sync snapshot is
+		// exactly an attempt to smuggle elements in under the prune horizon
+		// where the per-epoch scan above cannot see them. Every set entry not
+		// accounted for by retained history must still be valid and injected.
+		for eid, e := range snap.TheSet {
+			if _, inHistory := seen[eid]; inHistory {
+				continue
+			}
+			if e.Bogus {
+				errs = append(errs, fmt.Errorf(
+					"server %d: invalid (bogus) element %v in the set below the prune horizon",
+					id, eid))
+				continue
+			}
+			if cfg.Injected != nil {
+				if _, ok := cfg.Injected[eid]; !ok {
+					errs = append(errs, fmt.Errorf(
+						"server %d: fabricated element %v in the set: never injected by the workload",
+						id, eid))
+				}
+			}
+		}
 	}
 
 	// Epoch-prefix consistency: compare every correct server against the

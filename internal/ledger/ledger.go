@@ -94,7 +94,8 @@ func (n *Node) receive(from wire.NodeID, payload any, size int) {
 	case *mempool.GossipMsg:
 		n.Pool.ReceiveGossip(msg)
 	case *consensus.Proposal, *consensus.Vote, *consensus.BlockRequest,
-		*consensus.BlockResponse, *consensus.SyncResponse:
+		*consensus.BlockResponse, *consensus.SyncOffer,
+		*consensus.SyncChunkRequest, *consensus.SyncChunk:
 		n.Cons.Receive(from, payload)
 	default:
 		if n.appMsg != nil {

@@ -369,6 +369,7 @@ func init() {
 	registerSoak()
 	registerMesh()
 	registerOpen()
+	registerSync()
 }
 
 // openRampCell is one point on the open_ramp offered-load sweep: an
@@ -750,6 +751,113 @@ func registerSoak() {
 		Refs: []Reference{
 			modelRef(0, MetricEff2x, 1.0, 0.05,
 				"the restarted server state-syncs a checkpoint and nothing is lost"),
+		},
+	})
+}
+
+// syncCell is the base configuration of the sync_* family: the soak_smoke
+// recovery shape — Hashchain c=100, checkpoint every 4 settled epochs with
+// pruning on, one crash/restart long enough that the crashed server's gap
+// is pruned everywhere — so every cell forces a checkpoint state-sync,
+// and the sweep axes (rate → snapshot size, bandwidth, chunk size, forger
+// count) stress the chunked transfer protocol rather than throughput.
+func syncCell(name string, servers int, rate float64, crashed int) ScenarioSpec {
+	s := hash(100)
+	s.Name = name
+	s.Servers = servers
+	s.Rate = rate
+	s.SendFor = Duration(60 * time.Second)
+	s.Horizon = Duration(120 * time.Second)
+	s.CheckpointInterval = 4
+	s.Prune = true
+	s.Faults = &FaultSpec{Events: []FaultEventSpec{
+		{At: Duration(15 * time.Second), Action: FaultCrash, Nodes: []int{crashed}},
+		{At: Duration(35 * time.Second), Action: FaultRestart, Nodes: []int{crashed}},
+	}}
+	return s
+}
+
+// registerSync declares the state-sync transfer family (DESIGN.md §15;
+// beyond the paper): snapshots move as certified, fixed-size chunks
+// charged to the modeled network, and the recovering server verifies the
+// snapshot against the checkpoint commitment a 2f+1-certified block
+// header binds before installing anything a peer sent.
+func registerSync() {
+	Register(Entry{
+		Name:   "sync_transfer",
+		Title:  "Chunked state-sync transfer: snapshot size × bandwidth × chunk size",
+		Figure: "— (beyond the paper)",
+		Description: "The soak_smoke recovery shape (Hashchain c=100 on 4 servers, " +
+			"checkpoint every 4 settled epochs, pruning on, server 3 down 15-35 s so " +
+			"its gap is pruned everywhere and recovery must state-sync) swept across " +
+			"the transfer axes: small 16 KiB vs default 64 KiB chunks, the default " +
+			"1 Gbit/s LAN vs a constrained 2 MB/s uplink, and a 2.5x rate bump that " +
+			"grows the snapshot itself. Every chunk is charged to the modeled " +
+			"network and verified against the certified snapshot identity before " +
+			"assembly; recovery must still complete and commit everything inside " +
+			"the horizon on every cell.",
+		Cells: []ScenarioSpec{
+			func() ScenarioSpec {
+				s := syncCell("sync-transfer", 4, 800, 3)
+				s.Group = "16KiB chunks"
+				s.SyncChunkBytes = 16 * 1024
+				return s
+			}(),
+			func() ScenarioSpec {
+				s := syncCell("sync-transfer", 4, 800, 3)
+				s.Group = "2MB/s uplink"
+				s.Bandwidth = 2e6
+				return s
+			}(),
+			func() ScenarioSpec {
+				s := syncCell("sync-transfer", 4, 2000, 3)
+				s.Group = "2.5x snapshot, 2MB/s"
+				s.Bandwidth = 2e6
+				return s
+			}(),
+		},
+		Refs: []Reference{
+			modelRef(0, MetricEff2x, 1.0, 0.05,
+				"chunked recovery completes and nothing is lost"),
+			modelRef(1, MetricEff2x, 1.0, 0.05,
+				"a constrained uplink slows the transfer but recovery still completes"),
+			modelRef(2, MetricEff2x, 0.917, 0.05,
+				"the 2.5x snapshot streams within the horizon, but the crashed "+
+					"server's down-window backlog replays past the 2x-send mark"),
+		},
+	})
+	Register(Entry{
+		Name:   "sync_forged",
+		Title:  "Forged-snapshot Byzantine servers vs the certified header binding",
+		Figure: "— (beyond the paper)",
+		Description: "The same recovery shape with the highest-indexed servers running " +
+			"the forge-snapshot behavior: every snapshot they serve carries a " +
+			"fabricated checkpoint smuggling bogus elements under the requester's " +
+			"prune horizon, attached to the legitimate commit certificate. The " +
+			"recovering server verifies each offer against the checkpoint " +
+			"commitment bound into the certified block header, rejects the " +
+			"forgeries, and completes recovery from an honest peer — the safety " +
+			"checker then proves no bogus element reached any correct set. Swept " +
+			"over forger count (1 of 5, 2 of 7).",
+		Cells: []ScenarioSpec{
+			func() ScenarioSpec {
+				s := syncCell("sync-forged", 5, 800, 1)
+				s.Group = "1 forger"
+				s.Byzantine = &ByzantineSpec{Faulty: 1, Behaviors: []string{BehaviorForgeSnapshot}}
+				return s
+			}(),
+			func() ScenarioSpec {
+				s := syncCell("sync-forged", 7, 800, 1)
+				s.Group = "2 forgers"
+				s.Byzantine = &ByzantineSpec{Faulty: 2, Behaviors: []string{BehaviorForgeSnapshot}}
+				return s
+			}(),
+		},
+		Refs: []Reference{
+			modelRef(0, MetricEff2x, 1.0, 0.05,
+				"forged snapshots are rejected; recovery completes from honest peers"),
+			modelRef(1, MetricEff2x, 1.0, 0.05,
+				"two forgers cannot outvote the certified header binding"),
 		},
 	})
 }

@@ -87,12 +87,13 @@ const (
 	BehaviorWithholdBatches = "withhold-batches" // sign hashes, never serve data
 	BehaviorWrongBatches    = "wrong-batches"    // serve corrupted batch contents
 	BehaviorCorruptProofs   = "corrupt-proofs"   // sign garbage epoch hashes
+	BehaviorForgeSnapshot   = "forge-snapshot"   // corrupt served state-sync snapshots
 )
 
 // Behaviors lists every valid Byzantine behavior name.
 var Behaviors = []string{
 	BehaviorSilent, BehaviorInjectInvalid, BehaviorWithholdBatches,
-	BehaviorWrongBatches, BehaviorCorruptProofs,
+	BehaviorWrongBatches, BehaviorCorruptProofs, BehaviorForgeSnapshot,
 }
 
 // DefaultInjectCount is the bogus-element count "inject-invalid" uses
@@ -284,6 +285,11 @@ type ScenarioSpec struct {
 	// this many MiB — the soak family's bounded-memory check. 0 disables
 	// the measurement.
 	HeapCeilingMB int `json:"heap_ceiling_mb,omitempty"`
+	// SyncChunkBytes sets the chunk size of the state-sync transfer
+	// protocol (consensus.Params.SyncChunkBytes): snapshots stream as
+	// fixed-size verified chunks instead of one blob, each charged to the
+	// modeled network. 0 keeps the 64 KiB default.
+	SyncChunkBytes int `json:"sync_chunk_bytes,omitempty"`
 }
 
 // WithDefaults fills the paper's defaults into unset fields. It is
@@ -446,6 +452,9 @@ func (s ScenarioSpec) Validate() error {
 	}
 	if s.Bandwidth < 0 {
 		return fmt.Errorf("bandwidth must be >= 0, got %g", s.Bandwidth)
+	}
+	if s.SyncChunkBytes < 0 {
+		return fmt.Errorf("sync_chunk_bytes must be >= 0, got %d", s.SyncChunkBytes)
 	}
 	if s.Scale < 0 {
 		return fmt.Errorf("scale must be >= 0, got %g", s.Scale)

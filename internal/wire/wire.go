@@ -319,12 +319,21 @@ func (tx *Tx) AppendKey(buf []byte) []byte {
 }
 
 // Block is a finalized ledger block: an ordered sequence of transactions.
+//
+// CkptEpoch and CkptFold bind the proposer's sealed checkpoint chain into
+// the header: CkptEpoch is the latest sealed checkpoint epoch (0 before
+// any seal) and CkptFold is checkpoint.FoldChain over the chain through
+// that epoch. Both feed the block id, so the 2f+1 commit certificate
+// covers them — a state-syncing node verifies a peer snapshot's chain
+// against a certified header instead of trusting the peer (DESIGN.md §15).
 type Block struct {
-	Height   uint64
-	Proposer NodeID
-	Txs      []*Tx
-	Bytes    int   // sum of tx wire sizes
-	Time     int64 // virtual commit time in nanoseconds
+	Height    uint64
+	Proposer  NodeID
+	Txs       []*Tx
+	Bytes     int    // sum of tx wire sizes
+	Time      int64  // virtual commit time in nanoseconds
+	CkptEpoch uint64 // latest sealed checkpoint epoch at propose time
+	CkptFold  uint64 // checkpoint chain fold through CkptEpoch
 }
 
 // EpochHashInput builds the canonical byte string hashed to identify an
